@@ -1,0 +1,197 @@
+// T10 — Ablations of design choices called out in DESIGN.md:
+//  (a) register substrate: mutex-protected Swmr vs seqlock (read-mostly);
+//  (b) the paper's set0-reset Verify loop vs the §5.1 naive-quorum
+//      strawman — the strawman breaks the relay property under vote-flip
+//      collusion, the paper's loop does not (this is WHY the algorithm has
+//      its unusual shape);
+//  (c) helper idle backoff on/off.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "byzantine/behaviors.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+#include "registers/seqlock.hpp"
+#include "registers/space.hpp"
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+
+namespace {
+
+using namespace swsig;
+using Reg = core::VerifiableRegister<std::uint64_t>;
+
+// ---- (a) substrate read throughput: 1 writer, 3 readers, 50 ms window.
+struct SubstrateResult {
+  double mutex_mops;
+  double seqlock_mops;
+};
+
+SubstrateResult substrate() {
+  SubstrateResult result{};
+  {
+    runtime::FreeStepController ctrl;
+    registers::Space space(ctrl, registers::Space::Enforcement::kPermissive);
+    auto& reg = space.make_swmr<std::uint64_t>(1, 0, "m");
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0};
+    std::thread writer([&] {
+      runtime::ThisProcess::Binder bind(1);
+      std::uint64_t v = 0;
+      while (!stop.load()) reg.write(++v);
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r)
+      readers.emplace_back([&] {
+        std::uint64_t local = 0;
+        while (!stop.load()) {
+          reg.read();
+          ++local;
+        }
+        reads.fetch_add(local);
+      });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop = true;
+    writer.join();
+    for (auto& t : readers) t.join();
+    result.mutex_mops = static_cast<double>(reads.load()) / 50e3;
+  }
+  {
+    registers::SeqlockRegister<std::uint64_t> reg(0);
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0};
+    std::thread writer([&] {
+      std::uint64_t v = 0;
+      while (!stop.load()) reg.write(++v);
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r)
+      readers.emplace_back([&] {
+        std::uint64_t local = 0;
+        while (!stop.load()) {
+          reg.read();
+          ++local;
+        }
+        reads.fetch_add(local);
+      });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop = true;
+    writer.join();
+    for (auto& t : readers) t.join();
+    result.seqlock_mops = static_cast<double>(reads.load()) / 50e3;
+  }
+  return result;
+}
+
+// ---- (b) §5.1 strawman Verify: one-shot quorum, no set0 reset. The
+// strawman must fix SOME collection order; we scan descending, which the
+// colluders (high pids) exploit — the point of §5.1 is that every fixed
+// one-shot rule has a schedule the adversary can exploit.
+bool naive_verify(Reg& reg, std::uint64_t v) {
+  const int k = runtime::ThisProcess::id();
+  const int n = reg.config().n;
+  const int f = reg.config().f;
+  auto raw = reg.raw();
+  const auto ck =
+      (*raw.round)[k]->update([](core::RoundCounter& c) { ++c; });
+  std::map<int, bool> votes;
+  while (static_cast<int>(votes.size()) < n - f) {
+    for (int j = n; j >= 1 && static_cast<int>(votes.size()) < n - f; --j) {
+      if (votes.contains(j)) continue;
+      const auto t = (*raw.channel)[j][k]->read();
+      if (t.second >= ck) votes[j] = t.first.contains(v);
+    }
+    std::this_thread::yield();
+  }
+  int yes = 0;
+  for (const auto& [pid, vote] : votes) yes += vote ? 1 : 0;
+  if (yes >= n - f) return true;  // 2f+1 "Yes" among the first n−f replies
+  return false;                   // forced answer in the f < k < 2f+1 gap
+}
+
+struct RelayResult {
+  int paper_violations;
+  int naive_violations;
+};
+
+RelayResult relay_under_flippers(int n, int f, int rounds) {
+  const std::set<int> byz = [&] {
+    std::set<int> s;
+    for (int pid = n; pid > n - f; --pid) s.insert(pid);
+    return s;
+  }();
+  core::FreeSystem<Reg> sys(Reg::Config{n, f, 0, false},
+                            core::HelperOptions{.exclude = byz});
+  for (int b : byz) {
+    sys.spawn(b, [&sys](std::stop_token st) {
+      byzantine::VoteFlipHelper<Reg> flipper(sys.alg(), 42);
+      while (!st.stop_requested()) flipper.round();  // hot loop: fast liar
+    });
+  }
+  sys.as(1, [](Reg& r) {
+    r.write(42);
+    r.sign(42);
+  });
+
+  RelayResult result{0, 0};
+  bool paper_seen_true = false;
+  bool naive_seen_true = false;
+  for (int i = 0; i < rounds; ++i) {
+    const bool paper = sys.as(2, [](Reg& r) { return r.verify(42); });
+    if (paper_seen_true && !paper) ++result.paper_violations;
+    paper_seen_true |= paper;
+    const bool naive =
+        sys.as(3, [](Reg& r) { return naive_verify(r, 42); });
+    if (naive_seen_true && !naive) ++result.naive_violations;
+    naive_seen_true |= naive;
+  }
+  return result;
+}
+
+// ---- (c) helper idle backoff.
+double verify_latency(bool backoff) {
+  core::FreeSystem<Reg> sys(Reg::Config{7, 2, 0, false},
+                            core::HelperOptions{.exclude = {}, .idle_backoff = backoff});
+  sys.as(1, [](Reg& r) {
+    r.write(42);
+    r.sign(42);
+  });
+  return sys.as(2, [&](Reg& r) {
+    return bench::sample_latency(200, [&] { r.verify(42); }).median();
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("T10a — register substrate read throughput (Mops/s, "
+                 "1 writer + 3 readers, 50 ms)");
+  const SubstrateResult sub = substrate();
+  util::Table ta({"substrate", "reads Mops/s"});
+  ta.add_row({"mutex Swmr", util::Table::num(sub.mutex_mops)});
+  ta.add_row({"seqlock", util::Table::num(sub.seqlock_mops)});
+  ta.print();
+
+  bench::heading("T10b — relay violations over 150 verifies of a SIGNED "
+                 "value under f vote-flip colluders (paper loop must be 0)");
+  util::Table tb({"n", "f", "paper Verify violations",
+                  "naive-quorum Verify violations"});
+  for (int n : {4, 7}) {
+    const int f = (n - 1) / 3;
+    const RelayResult r = relay_under_flippers(n, f, 150);
+    tb.add_row({util::Table::num(n), util::Table::num(f),
+                util::Table::num(r.paper_violations),
+                util::Table::num(r.naive_violations)});
+  }
+  tb.print();
+
+  bench::heading("T10c — helper idle backoff (n=7, f=2)");
+  util::Table tc({"idle backoff", "verify median us"});
+  tc.add_row({"on", util::Table::num(verify_latency(true))});
+  tc.add_row({"off", util::Table::num(verify_latency(false))});
+  tc.print();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// T12 — Asset transfer end to end: signature-free (sticky broadcast,
+// n>3f) vs signed-certificate broadcast (n>2f).
+#include <thread>
+
+#include "bench/common.hpp"
+#include "broadcast/reliable_broadcast.hpp"
+#include "registers/space.hpp"
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+#include "transfer/asset_transfer.hpp"
+
+namespace {
+
+using namespace swsig;
+using bench::max_f;
+
+constexpr int kTransfers = 5;
+
+struct Row {
+  double transfer_us;
+  double balance_us;
+};
+
+template <typename RB>
+Row run(RB& rb, int n) {
+  std::vector<std::jthread> helpers;
+  for (int pid = 1; pid <= n; ++pid) {
+    helpers.emplace_back([&rb, pid](std::stop_token st) {
+      runtime::ThisProcess::Binder bind(pid);
+      while (!st.stop_requested()) {
+        if (!rb.help_round()) std::this_thread::yield();
+      }
+    });
+  }
+  transfer::AssetTransfer at(rb, {.n = n,
+                                  .initial_balance = 1000,
+                                  .max_transfers = kTransfers + 1});
+  Row row{};
+  {
+    runtime::ThisProcess::Binder bind(1);
+    util::Samples samples;
+    for (int i = 0; i < kTransfers; ++i)
+      samples.add(bench::time_us([&] { at.transfer(2, 1); }));
+    row.transfer_us = samples.median();
+  }
+  {
+    runtime::ThisProcess::Binder bind(3);
+    row.balance_us =
+        bench::sample_latency(30, [&] { at.balance_of(2); }).median();
+  }
+  for (auto& t : helpers) t.request_stop();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("T12 — asset transfer latency (median us)");
+  util::Table table({"n", "f", "backend", "transfer", "balance query"});
+  for (int n : {4, 7, 10}) {
+    const int f = max_f(n);
+    {
+      runtime::FreeStepController ctrl;
+      registers::Space space(ctrl);
+      broadcast::StickyReliableBroadcast rb(space, {n, f, kTransfers + 1});
+      const Row r = run(rb, n);
+      table.add_row({util::Table::num(n), util::Table::num(f),
+                     "sticky (sig-free)", util::Table::num(r.transfer_us),
+                     util::Table::num(r.balance_us)});
+    }
+    {
+      runtime::FreeStepController ctrl;
+      registers::Space space(ctrl);
+      crypto::SignatureAuthority auth({.n = n, .seed = 3});
+      broadcast::SignedReliableBroadcast rb(space, auth,
+                                            {n, f, kTransfers + 1});
+      const Row r = run(rb, n);
+      table.add_row({"", "", "signed (n>2f)",
+                     util::Table::num(r.transfer_us),
+                     util::Table::num(r.balance_us)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// T4 — Verify under live Byzantine behavior.
+//
+// Claim under test (Theorems 43/112): Verify terminates — with bounded
+// degradation — under every adversary the model admits: f silent
+// processes, f vote-flipping colluders, and an erasing/denying writer.
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "byzantine/behaviors.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+
+namespace {
+
+using namespace swsig;
+using Reg = core::VerifiableRegister<std::uint64_t>;
+using bench::max_f;
+
+constexpr int kIters = 200;
+
+std::set<int> last_f_pids(int n, int f) {
+  std::set<int> pids;
+  for (int pid = n; pid > n - f; --pid) pids.insert(pid);
+  return pids;
+}
+
+double fault_free(int n, int f) {
+  core::FreeSystem<Reg> sys(Reg::Config{n, f, 0, false});
+  sys.as(1, [](Reg& r) {
+    r.write(42);
+    r.sign(42);
+  });
+  return sys.as(2, [&](Reg& r) {
+    return bench::sample_latency(kIters, [&] { r.verify(42); }).median();
+  });
+}
+
+// f processes crash: their helpers never run.
+double silent(int n, int f) {
+  core::FreeSystem<Reg> sys(Reg::Config{n, f, 0, false},
+                            core::HelperOptions{.exclude = last_f_pids(n, f)});
+  sys.as(1, [](Reg& r) {
+    r.write(42);
+    r.sign(42);
+  });
+  return sys.as(2, [&](Reg& r) {
+    return bench::sample_latency(kIters, [&] { r.verify(42); }).median();
+  });
+}
+
+// f colluders alternate between witnessing and denying the target value.
+double vote_flip(int n, int f) {
+  const auto byz = last_f_pids(n, f);
+  core::FreeSystem<Reg> sys(Reg::Config{n, f, 0, false},
+                            core::HelperOptions{.exclude = byz});
+  for (int b : byz) {
+    sys.spawn(b, [&sys](std::stop_token st) {
+      byzantine::VoteFlipHelper<Reg> flipper(sys.alg(), 42);
+      while (!st.stop_requested()) {
+        if (!flipper.round()) std::this_thread::yield();
+      }
+    });
+  }
+  sys.as(1, [](Reg& r) {
+    r.write(42);
+    r.sign(42);
+  });
+  return sys.as(2, [&](Reg& r) {
+    return bench::sample_latency(kIters, [&] { r.verify(42); }).median();
+  });
+}
+
+// The writer erases everything after signing and denies from then on.
+double eraser_writer(int n, int f) {
+  core::FreeSystem<Reg> sys(Reg::Config{n, f, 0, false},
+                            core::HelperOptions{.exclude = {1}});
+  std::atomic<bool> erased{false};
+  sys.spawn(1, [&](std::stop_token st) {
+    // Honest helper until the sign lands, then erase + deny.
+    byzantine::DenyingHelper<Reg> denier(sys.alg());
+    while (!st.stop_requested()) {
+      if (!erased.load()) {
+        if (!sys.alg().help_round()) std::this_thread::yield();
+      } else {
+        if (!denier.round()) std::this_thread::yield();
+      }
+    }
+  });
+  sys.as(1, [](Reg& r) {
+    r.write(42);
+    r.sign(42);
+  });
+  // Ensure the value propagated to correct witnesses once.
+  sys.as(2, [](Reg& r) { r.verify(42); });
+  sys.as(1, [](Reg& r) { byzantine::erase_verifiable_registers(r); });
+  erased = true;
+  return sys.as(2, [&](Reg& r) {
+    return bench::sample_latency(kIters, [&] { r.verify(42); }).median();
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "T4 — Verify(42) median us under adversaries (value signed; relay "
+      "must hold in every column)");
+  util::Table table({"n", "f", "fault-free", "f silent", "f vote-flippers",
+                     "eraser writer"});
+  for (int n : {4, 7, 10, 13}) {
+    const int f = max_f(n);
+    table.add_row({util::Table::num(n), util::Table::num(f),
+                   util::Table::num(fault_free(n, f)),
+                   util::Table::num(silent(n, f)),
+                   util::Table::num(vote_flip(n, f)),
+                   util::Table::num(eraser_writer(n, f))});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// T11 — Crypto substrate calibration: what one signature costs in the
+// baseline registers (so T1-T3 comparisons can be interpreted).
+#include <string>
+
+#include "bench/common.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+#include "runtime/process.hpp"
+
+int main() {
+  using namespace swsig;
+
+  bench::heading("T11a — SHA-256 throughput");
+  util::Table ta({"message size", "us/op", "MB/s"});
+  for (std::size_t size : {64u, 1024u, 8192u, 65536u}) {
+    const std::string msg(size, 'x');
+    const int iters = size >= 65536 ? 200 : 1000;
+    const double us =
+        bench::sample_latency(iters, [&] { crypto::Sha256::hash(msg); })
+            .median();
+    ta.add_row({std::to_string(size) + " B", util::Table::num(us),
+                util::Table::num(static_cast<double>(size) / us, 1)});
+  }
+  ta.print();
+
+  bench::heading("T11b — HMAC-SHA256");
+  util::Table tb({"message size", "us/op"});
+  for (std::size_t size : {8u, 64u, 1024u}) {
+    const std::string msg(size, 'x');
+    const double us = bench::sample_latency(1000, [&] {
+                        crypto::hmac_sha256("key", msg);
+                      }).median();
+    tb.add_row({std::to_string(size) + " B", util::Table::num(us)});
+  }
+  tb.print();
+
+  bench::heading("T11c — signature service (8-byte values)");
+  util::Table tc({"mode", "sign us", "verify us"});
+  for (const bool pk : {false, true}) {
+    crypto::SignatureAuthority auth(
+        {.n = 4,
+         .seed = 1,
+         .mode = pk ? crypto::SignatureAuthority::Mode::kSlowPk
+                    : crypto::SignatureAuthority::Mode::kHmac,
+         .pk_iterations = 64});
+    runtime::ThisProcess::Binder bind(1);
+    const std::string msg = crypto::encode_value<std::uint64_t>(42);
+    const double sign_us =
+        bench::sample_latency(500, [&] { auth.sign(1, msg); }).median();
+    const auto sig = auth.sign(1, msg);
+    const double verify_us =
+        bench::sample_latency(500, [&] { auth.verify(msg, sig); }).median();
+    tc.add_row({pk ? "slow-PK (64x)" : "HMAC", util::Table::num(sign_us),
+                util::Table::num(verify_us)});
+  }
+  tc.print();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// T5 — Figure 1 / Theorem 29 mechanized: the reset attack across the
+// n = 3f boundary.
+//
+// Claim under test: the H1/H2/H3 construction forges a relay violation
+// (Test=1 followed by Test'=0 between correct testers) in EVERY trial when
+// 3 <= n <= 3f, and in NO trial when n > 3f. This is the executable form
+// of the impossibility proof — a 100%/0% split at the exact boundary.
+#include "bench/common.hpp"
+#include "byzantine/reset_attack.hpp"
+
+int main() {
+  using namespace swsig;
+  constexpr int kTrials = 25;
+
+  bench::heading(
+      "T5 — reset attack outcomes over 25 trials per configuration");
+  util::Table table({"n", "f(cfg)", "regime", "phase-1 Test=1", "relay "
+                     "violations", "violation rate"});
+  struct Cfg {
+    int n, f;
+  };
+  for (const Cfg cfg : {Cfg{3, 1}, Cfg{4, 2}, Cfg{5, 2}, Cfg{6, 2},
+                        Cfg{6, 3}, Cfg{9, 3}, Cfg{4, 1}, Cfg{7, 2},
+                        Cfg{10, 3}, Cfg{13, 4}}) {
+    int first_ok = 0;
+    int violations = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto out = byzantine::run_reset_attack(cfg.n, cfg.f);
+      if (out.first_test == 1) ++first_ok;
+      if (out.relay_violated()) ++violations;
+    }
+    const bool impossible_regime = cfg.n <= 3 * cfg.f;
+    table.add_row(
+        {util::Table::num(cfg.n), util::Table::num(cfg.f),
+         impossible_regime ? "n <= 3f (impossible)" : "n > 3f (safe)",
+         util::Table::num(first_ok), util::Table::num(violations),
+         util::Table::num(100.0 * violations / kTrials, 0) + "%"});
+  }
+  table.print();
+  return 0;
+}

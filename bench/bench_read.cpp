@@ -1,0 +1,75 @@
+// T3 — Read cost vs n across the three register types.
+//
+// Claims under test: a verifiable-register Read is one register read
+// (flat); an authenticated Read embeds a full Verify (§7.1), so it pays
+// the quorum cost; a sticky Read needs an n−f witness quorum.
+#include <cstdint>
+
+#include "bench/common.hpp"
+#include "core/authenticated_register.hpp"
+#include "core/sticky_register.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+
+namespace {
+
+using namespace swsig;
+using bench::max_f;
+
+constexpr int kIters = 300;
+
+}  // namespace
+
+int main() {
+  bench::heading("T3 — Read latency vs n (median us over 300 reads)");
+  util::Table table({"n", "f", "plain-SWMR read", "verifiable read",
+                     "authenticated read", "sticky read"});
+  for (int n : {4, 7, 10, 13, 16, 25}) {
+    const int f = max_f(n);
+
+    // Plain substrate register, for scale.
+    runtime::FreeStepController ctrl;
+    registers::Space space(ctrl);
+    auto& plain = space.make_swmr<std::uint64_t>(1, 7, "plain");
+    double plain_us;
+    {
+      runtime::ThisProcess::Binder bind(2);
+      plain_us =
+          bench::sample_latency(kIters, [&] { plain.read(); }).median();
+    }
+
+    // Each system is scoped so only one set of helper threads exists at a
+    // time (three live n=25 systems would mean 75 spinning helpers).
+    double verif_us, auth_us, sticky_us;
+    {
+      using VReg = core::VerifiableRegister<std::uint64_t>;
+      core::FreeSystem<VReg> vsys(VReg::Config{n, f, 0, false});
+      vsys.as(1, [](VReg& r) { r.write(7); });
+      verif_us = vsys.as(2, [&](VReg& r) {
+        return bench::sample_latency(kIters, [&] { r.read(); }).median();
+      });
+    }
+    {
+      using AReg = core::AuthenticatedRegister<std::uint64_t>;
+      core::FreeSystem<AReg> asys(AReg::Config{n, f, 0, false});
+      asys.as(1, [](AReg& r) { r.write(7); });
+      auth_us = asys.as(2, [&](AReg& r) {
+        return bench::sample_latency(kIters, [&] { r.read(); }).median();
+      });
+    }
+    {
+      using SReg = core::StickyRegister<std::uint64_t>;
+      core::FreeSystem<SReg> ssys(SReg::Config{n, f, false});
+      ssys.as(1, [](SReg& r) { r.write(7); });
+      sticky_us = ssys.as(2, [&](SReg& r) {
+        return bench::sample_latency(kIters, [&] { r.read(); }).median();
+      });
+    }
+
+    table.add_row({util::Table::num(n), util::Table::num(f),
+                   util::Table::num(plain_us), util::Table::num(verif_us),
+                   util::Table::num(auth_us), util::Table::num(sticky_us)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// T8 — Signature-free atomic snapshot: update/scan latency vs n, idle and
+// under concurrent update churn.
+#include <atomic>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "runtime/process.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+using namespace swsig;
+using bench::max_f;
+
+constexpr int kIters = 60;
+
+struct Row {
+  double update_us;
+  double scan_idle_us;
+  double scan_churn_us;
+};
+
+Row run(int n, int f) {
+  runtime::FreeStepController ctrl;
+  registers::Space space(ctrl);
+  snapshot::AtomicSnapshot snap(space, {.n = n, .f = f, .v0 = 0});
+  std::vector<std::jthread> helpers;
+  for (int pid = 1; pid <= n; ++pid) {
+    helpers.emplace_back([&snap, pid](std::stop_token st) {
+      runtime::ThisProcess::Binder bind(pid);
+      while (!st.stop_requested()) {
+        if (!snap.help_round()) std::this_thread::yield();
+      }
+    });
+  }
+
+  Row row{};
+  {
+    runtime::ThisProcess::Binder bind(2);
+    std::uint64_t v = 0;
+    row.update_us =
+        bench::sample_latency(kIters, [&] { snap.update(++v); }).median();
+    row.scan_idle_us =
+        bench::sample_latency(kIters, [&] { snap.scan(); }).median();
+  }
+  // Scan while another process updates continuously.
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    runtime::ThisProcess::Binder bind(3);
+    std::uint64_t v = 1000;
+    while (!stop.load()) snap.update(++v);
+  });
+  {
+    runtime::ThisProcess::Binder bind(4);
+    row.scan_churn_us =
+        bench::sample_latency(kIters, [&] { snap.scan(); }).median();
+  }
+  stop = true;
+  churner.join();
+  for (auto& t : helpers) t.request_stop();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("T8 — snapshot latency (median us over 60 ops)");
+  util::Table table(
+      {"n", "f", "update", "scan (idle)", "scan (under churn)"});
+  for (int n : {4, 7, 10}) {
+    const int f = max_f(n);
+    const Row r = run(n, f);
+    table.add_row({util::Table::num(n), util::Table::num(f),
+                   util::Table::num(r.update_us),
+                   util::Table::num(r.scan_idle_us),
+                   util::Table::num(r.scan_churn_us)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// T6 — Observation 30: test-or-set from each register type.
+//
+// Measures Set latency and Test latency (before and after the Set) per
+// backend — the three constructions are wait-free wrappers, so their cost
+// profile mirrors the underlying register's Verify/Read cost.
+#include <memory>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "core/system.hpp"
+#include "core/test_or_set.hpp"
+#include "registers/space.hpp"
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+
+namespace {
+
+using namespace swsig;
+using bench::max_f;
+
+constexpr int kIters = 200;
+
+struct Measured {
+  double test_unset_us;
+  double set_us;
+  double test_set_us;
+};
+
+template <typename Impl, typename RegConfig>
+Measured run(int n, int f) {
+  runtime::FreeStepController ctrl;
+  registers::Space space(ctrl);
+  RegConfig rc;
+  rc.n = n;
+  rc.f = f;
+  Impl impl(space, rc);
+  std::vector<std::jthread> helpers;
+  for (int pid = 1; pid <= n; ++pid) {
+    helpers.emplace_back([&impl, pid](std::stop_token st) {
+      runtime::ThisProcess::Binder bind(pid);
+      while (!st.stop_requested()) {
+        if (!impl.reg().help_round()) std::this_thread::yield();
+      }
+    });
+  }
+  Measured m{};
+  {
+    runtime::ThisProcess::Binder bind(2);
+    m.test_unset_us =
+        bench::sample_latency(kIters, [&] { impl.test(); }).median();
+  }
+  {
+    runtime::ThisProcess::Binder bind(1);
+    m.set_us = bench::time_us([&] { impl.set(); });
+  }
+  {
+    runtime::ThisProcess::Binder bind(3);
+    m.test_set_us =
+        bench::sample_latency(kIters, [&] { impl.test(); }).median();
+  }
+  for (auto& t : helpers) t.request_stop();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("T6 — test-or-set latency per backend (us)");
+  util::Table table({"n", "f", "backend", "Test (unset)", "Set",
+                     "Test (set)"});
+  for (int n : {4, 7, 10}) {
+    const int f = max_f(n);
+    const auto v = run<core::TestOrSetFromVerifiable,
+                       core::VerifiableRegister<int>::Config>(n, f);
+    const auto a = run<core::TestOrSetFromAuthenticated,
+                       core::AuthenticatedRegister<int>::Config>(n, f);
+    const auto s = run<core::TestOrSetFromSticky,
+                       core::StickyRegister<int>::Config>(n, f);
+    table.add_row({util::Table::num(n), util::Table::num(f), "verifiable",
+                   util::Table::num(v.test_unset_us),
+                   util::Table::num(v.set_us),
+                   util::Table::num(v.test_set_us)});
+    table.add_row({"", "", "authenticated",
+                   util::Table::num(a.test_unset_us),
+                   util::Table::num(a.set_us),
+                   util::Table::num(a.test_set_us)});
+    table.add_row({"", "", "sticky", util::Table::num(s.test_unset_us),
+                   util::Table::num(s.set_us),
+                   util::Table::num(s.test_set_us)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// T1 — Verify latency and register-step cost vs n.
+//
+// Claim under test: signature-free Verify is quorum-bound (cost grows with
+// n: it needs n−f witness answers and O(n) register reads per round),
+// while signature-based Verify is crypto-bound (near-flat in n when the
+// writer is honest). Absolute numbers are machine-local; the shape is the
+// reproduction target.
+#include <cstdint>
+
+#include "bench/common.hpp"
+#include "core/authenticated_register.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+#include "crypto/signed_registers.hpp"
+#include "registers/space.hpp"
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+
+namespace {
+
+using namespace swsig;
+using bench::max_f;
+
+constexpr int kIters = 300;
+
+struct Row {
+  int n, f;
+  double verifiable_us, verifiable_steps;
+  double authenticated_us;
+  double signed_hmac_us, signed_pk_us;
+};
+
+Row run(int n) {
+  Row row{};
+  row.n = n;
+  row.f = max_f(n);
+
+  {  // verifiable register (Algorithm 1)
+    using Reg = core::VerifiableRegister<std::uint64_t>;
+    core::FreeSystem<Reg> sys(Reg::Config{n, row.f, 0, false});
+    sys.as(1, [](Reg& r) {
+      r.write(42);
+      r.sign(42);
+    });
+    const auto before = sys.metrics().snapshot();
+    const auto samples = sys.as(2, [&](Reg& r) {
+      return bench::sample_latency(kIters, [&] { r.verify(42); });
+    });
+    const auto delta = sys.metrics().snapshot().delta(before);
+    row.verifiable_us = samples.median();
+    // Steps by all threads (incl. helpers) per verify — the model-level
+    // cost measure.
+    row.verifiable_steps =
+        static_cast<double>(delta.total()) / kIters;
+  }
+
+  {  // authenticated register (Algorithm 2)
+    using Reg = core::AuthenticatedRegister<std::uint64_t>;
+    core::FreeSystem<Reg> sys(Reg::Config{n, row.f, 0, false});
+    sys.as(1, [](Reg& r) { r.write(42); });
+    const auto samples = sys.as(2, [&](Reg& r) {
+      return bench::sample_latency(kIters, [&] { r.verify(42); });
+    });
+    row.authenticated_us = samples.median();
+  }
+
+  for (const bool pk : {false, true}) {  // signed baselines
+    runtime::FreeStepController ctrl;
+    registers::Space space(ctrl);
+    crypto::SignatureAuthority auth(
+        {.n = n,
+         .seed = 1,
+         .mode = pk ? crypto::SignatureAuthority::Mode::kSlowPk
+                    : crypto::SignatureAuthority::Mode::kHmac,
+         .pk_iterations = 64});
+    crypto::SignedVerifiableRegister<std::uint64_t> reg(space, auth,
+                                                        {n, row.f, 0});
+    {
+      runtime::ThisProcess::Binder bind(1);
+      reg.write(42);
+      reg.sign(42);
+    }
+    runtime::ThisProcess::Binder bind(2);
+    const auto samples =
+        bench::sample_latency(kIters, [&] { reg.verify(42); });
+    (pk ? row.signed_pk_us : row.signed_hmac_us) = samples.median();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "T1 — Verify latency vs n (median us over 300 calls, fault-free)");
+  util::Table table({"n", "f", "verifiable us", "steps/op",
+                     "authenticated us", "signed-HMAC us", "signed-PK us"});
+  for (int n : {4, 7, 10, 13, 16, 25, 31}) {
+    const Row r = run(n);
+    table.add_row({util::Table::num(r.n), util::Table::num(r.f),
+                   util::Table::num(r.verifiable_us),
+                   util::Table::num(r.verifiable_steps, 1),
+                   util::Table::num(r.authenticated_us),
+                   util::Table::num(r.signed_hmac_us),
+                   util::Table::num(r.signed_pk_us)});
+  }
+  table.print();
+  return 0;
+}

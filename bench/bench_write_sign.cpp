@@ -1,0 +1,110 @@
+// T2 — Write and Sign cost vs n.
+//
+// Claims under test (paper §5/§7/§9.1): a verifiable-register Write is a
+// single register write (flat in n); Sign is a single owner RMW (flat);
+// an authenticated Write is one owner RMW (flat); a sticky Write must WAIT
+// for n−f witnesses (grows with n and depends on helper latency); the
+// signed baselines pay one signature per Sign/Write.
+#include <cstdint>
+
+#include "bench/common.hpp"
+#include "core/authenticated_register.hpp"
+#include "core/sticky_register.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+#include "crypto/signed_registers.hpp"
+#include "registers/space.hpp"
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+
+namespace {
+
+using namespace swsig;
+using bench::max_f;
+
+constexpr int kIters = 400;
+constexpr int kStickyRounds = 25;
+
+double bench_verifiable_write(int n, int f) {
+  using Reg = core::VerifiableRegister<std::uint64_t>;
+  core::FreeSystem<Reg> sys(Reg::Config{n, f, 0, false});
+  std::uint64_t v = 0;
+  return sys.as(1, [&](Reg& r) {
+    return bench::sample_latency(kIters, [&] { r.write(++v); }).median();
+  });
+}
+
+double bench_verifiable_sign(int n, int f) {
+  using Reg = core::VerifiableRegister<std::uint64_t>;
+  core::FreeSystem<Reg> sys(Reg::Config{n, f, 0, false});
+  std::uint64_t v = 0;
+  sys.as(1, [&](Reg& r) {
+    for (int i = 0; i < kIters; ++i) r.write(static_cast<std::uint64_t>(i));
+  });
+  return sys.as(1, [&](Reg& r) {
+    return bench::sample_latency(kIters, [&] { r.sign(v++); }).median();
+  });
+}
+
+double bench_authenticated_write(int n, int f) {
+  using Reg = core::AuthenticatedRegister<std::uint64_t>;
+  core::FreeSystem<Reg> sys(Reg::Config{n, f, 0, false});
+  std::uint64_t v = 0;
+  return sys.as(1, [&](Reg& r) {
+    return bench::sample_latency(kIters, [&] { r.write(++v); }).median();
+  });
+}
+
+// Sticky registers are one-shot: each sample uses a fresh register (all in
+// one Space/system so helper threads are shared-per-register).
+double bench_sticky_write(int n, int f) {
+  using Reg = core::StickyRegister<std::uint64_t>;
+  util::Samples samples;
+  for (int round = 0; round < kStickyRounds; ++round) {
+    core::FreeSystem<Reg> sys(Reg::Config{n, f, false});
+    samples.add(sys.as(1, [&](Reg& r) {
+      return bench::time_us([&] { r.write(7); });
+    }));
+  }
+  return samples.median();
+}
+
+double bench_signed_write_sign(int n, int f, bool pk) {
+  runtime::FreeStepController ctrl;
+  registers::Space space(ctrl);
+  crypto::SignatureAuthority auth(
+      {.n = n,
+       .seed = 1,
+       .mode = pk ? crypto::SignatureAuthority::Mode::kSlowPk
+                  : crypto::SignatureAuthority::Mode::kHmac,
+       .pk_iterations = 64});
+  crypto::SignedVerifiableRegister<std::uint64_t> reg(space, auth, {n, f, 0});
+  runtime::ThisProcess::Binder bind(1);
+  std::uint64_t v = 0;
+  return bench::sample_latency(kIters, [&] {
+           ++v;
+           reg.write(v);
+           reg.sign(v);
+         })
+      .median();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("T2 — Write/Sign latency vs n (median us)");
+  util::Table table({"n", "f", "verif write", "verif sign", "auth write",
+                     "sticky write", "signed w+s HMAC", "signed w+s PK"});
+  for (int n : {4, 7, 10, 13, 16, 25}) {
+    const int f = max_f(n);
+    table.add_row({util::Table::num(n), util::Table::num(f),
+                   util::Table::num(bench_verifiable_write(n, f)),
+                   util::Table::num(bench_verifiable_sign(n, f)),
+                   util::Table::num(bench_authenticated_write(n, f)),
+                   util::Table::num(bench_sticky_write(n, f)),
+                   util::Table::num(bench_signed_write_sign(n, f, false)),
+                   util::Table::num(bench_signed_write_sign(n, f, true))});
+  }
+  table.print();
+  return 0;
+}

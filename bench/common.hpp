@@ -1,0 +1,46 @@
+// Shared helpers for the benchmark binaries. Every bench prints markdown
+// tables whose shape matches the per-experiment index in EXPERIMENTS.md.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace swsig::bench {
+
+inline double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Times fn() once, in microseconds.
+template <typename F>
+double time_us(F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::forward<F>(fn)();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+// Per-iteration latency samples.
+template <typename F>
+util::Samples sample_latency(int iterations, F&& fn) {
+  util::Samples samples;
+  for (int i = 0; i < iterations; ++i) samples.add(time_us(fn));
+  return samples;
+}
+
+// Largest f the algorithms tolerate at this n (n > 3f).
+inline int max_f(int n) { return (n - 1) / 3; }
+
+inline void heading(const std::string& title) {
+  std::cout << "\n### " << title << "\n\n";
+}
+
+}  // namespace swsig::bench

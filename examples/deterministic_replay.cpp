@@ -1,0 +1,85 @@
+// Deterministic replay: the same seed reproduces the same interleaving —
+// byte-for-byte — which is how this library debugs concurrency.
+//
+// The deterministic step controller serializes every register access and
+// lets a seeded policy choose which process moves next. The trace hash
+// fingerprints the schedule: equal seeds give equal hashes AND equal
+// results; a different seed explores a genuinely different interleaving
+// (where a verify may legitimately race the sign and return false).
+#include <atomic>
+#include <iostream>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+#include "runtime/harness.hpp"
+#include "runtime/schedule_policy.hpp"
+
+using namespace swsig;
+using Reg = core::VerifiableRegister<int>;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t trace_hash;
+  std::vector<int> verifies;  // outcome of each reader's verify
+};
+
+RunResult run(std::uint64_t seed) {
+  runtime::Harness h(
+      {.deterministic = true,
+       .policy = std::make_shared<runtime::RandomPolicy>(seed)});
+  registers::Space space(h.controller());
+  Reg reg(space, {.n = 4, .f = 1, .v0 = 0});
+  std::atomic<int> ops_done{0};
+  RunResult result{};
+
+  h.spawn(1, "op", [&](std::stop_token) {
+    reg.write(7);
+    reg.sign(7);  // races the verifies below — the SCHEDULE decides
+    ops_done.fetch_add(1);
+  });
+  for (int k : {2, 3}) {
+    h.spawn(k, "op", [&](std::stop_token) {
+      const bool ok = reg.verify(7);
+      result.verifies.push_back(ok ? 1 : 0);  // serialized: safe
+      ops_done.fetch_add(1);
+    });
+  }
+  for (int pid = 1; pid <= 4; ++pid) {
+    h.spawn(pid, "help", [&](std::stop_token) {
+      while (ops_done.load() < 3) reg.help_round();
+    });
+  }
+  h.start();
+  h.join();
+  result.trace_hash = h.trace_hash();
+  return result;
+}
+
+void show(const char* label, const RunResult& r) {
+  std::cout << label << ": trace=0x" << std::hex << r.trace_hash << std::dec
+            << "  verifies=[";
+  for (std::size_t i = 0; i < r.verifies.size(); ++i)
+    std::cout << (i ? ", " : "") << r.verifies[i];
+  std::cout << "]\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== deterministic replay (verify races sign; n=4, f=1) ==\n\n";
+  const RunResult a1 = run(7), a2 = run(7);
+  show("seed 7, run 1", a1);
+  show("seed 7, run 2", a2);
+  std::cout << "identical: " << std::boolalpha
+            << (a1.trace_hash == a2.trace_hash && a1.verifies == a2.verifies)
+            << "\n\n";
+
+  for (std::uint64_t seed : {8, 9, 10, 11}) {
+    show(("seed " + std::to_string(seed)).c_str(), run(seed));
+  }
+  std::cout << "\nDifferent seeds explore different interleavings; any "
+               "failing schedule is reproducible from its seed.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The paper's closing corollary, as a running program: its registers work
+// in message-passing systems with n > 3f, no signatures anywhere.
+//
+// Stack:  verifiable register (Algorithm 1)
+//           └── emulated SWMR registers (MPRJ17-style echo/accept quorums)
+//                 └── simulated asynchronous Byzantine network
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/verifiable_register.hpp"
+#include "msgpass/emulated_swmr.hpp"
+#include "runtime/process.hpp"
+
+using namespace swsig;
+
+int main() {
+  constexpr int kN = 4;
+  constexpr int kF = 1;
+  std::cout << "== verifiable register over message passing (n=4, f=1) ==\n\n";
+
+  msgpass::EmulatedSpace space({.n = kN, .f = kF});
+  using Reg = core::VerifiableRegister<int, msgpass::EmulatedSpace>;
+  Reg::Config cfg;
+  cfg.n = kN;
+  cfg.f = kF;
+  cfg.v0 = 0;
+  Reg reg(space, cfg);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> helpers;
+  for (int pid = 1; pid <= kN; ++pid) {
+    helpers.emplace_back([&, pid](std::stop_token st) {
+      runtime::ThisProcess::Binder bind(pid);
+      while (!st.stop_requested() && !stop.load()) {
+        if (!reg.help_round()) std::this_thread::yield();
+      }
+    });
+  }
+
+  const auto msgs0 = space.network().messages_sent();
+  {
+    runtime::ThisProcess::Binder bind(1);
+    reg.write(2025);
+    reg.sign(2025);
+  }
+  std::cout << "p1 wrote and signed 2025 ("
+            << space.network().messages_sent() - msgs0
+            << " network messages so far)\n";
+
+  {
+    runtime::ThisProcess::Binder bind(2);
+    std::cout << "p2: read() = " << reg.read()
+              << ", verify(2025) = " << std::boolalpha << reg.verify(2025)
+              << "\n";
+  }
+  {
+    runtime::ThisProcess::Binder bind(3);
+    std::cout << "p3: verify(2025) = " << reg.verify(2025)
+              << "  (relay holds across the network)\n";
+    std::cout << "p3: verify(9999) = " << reg.verify(9999)
+              << "  (no forgeries)\n";
+  }
+
+  std::cout << "\ntotal network messages: "
+            << space.network().messages_sent()
+            << "\nEvery register access above was a quorum protocol over "
+               "an asynchronous Byzantine network — and the register "
+               "semantics survived intact.\n";
+  stop = true;
+  for (auto& t : helpers) t.request_stop();
+  return 0;
+}

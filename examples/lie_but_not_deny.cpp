@@ -1,0 +1,54 @@
+// "You can lie but not deny" — the paper's title, executed.
+//
+// A Byzantine writer writes a value, signs it, lets one reader verify it —
+// and then erases every register it owns and denies everything. The
+// whole point of the verifiable register: the denial FAILS. Every correct
+// reader can still prove the writer signed the value, forever, without a
+// single cryptographic signature in the system.
+#include <iostream>
+
+#include "byzantine/behaviors.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+
+using namespace swsig;
+using Reg = core::VerifiableRegister<std::string>;
+
+int main() {
+  std::cout << "== you can lie but not deny (n=4, f=1; p1 Byzantine) ==\n\n";
+
+  core::FreeSystem<Reg> sys(Reg::Config{.n = 4, .f = 1, .v0 = ""});
+
+  // Act 1: p1 writes and signs a statement. (It can lie! The register
+  // doesn't check truth — only authorship.)
+  sys.as(1, [](Reg& r) {
+    r.write("I will pay Bob 100 coins");
+    r.sign("I will pay Bob 100 coins");
+  });
+  std::cout << "p1 wrote and signed: \"I will pay Bob 100 coins\"\n";
+
+  // Act 2: p2 verifies it — the promise is now on the record.
+  const bool seen =
+      sys.as(2, [](Reg& r) { return r.verify("I will pay Bob 100 coins"); });
+  std::cout << "p2 verified the promise: " << std::boolalpha << seen << "\n";
+
+  // Act 3: p1 turns hostile — erases ALL of its own registers (allowed:
+  // they are its write ports) and would now deny ever promising anything.
+  sys.as(1, [](Reg& r) { byzantine::erase_verifiable_registers(r); });
+  std::cout << "p1 erased all of its registers and denies everything...\n\n";
+
+  // Act 4: every correct reader can still prove the promise was signed.
+  for (int reader = 2; reader <= 4; ++reader) {
+    const bool still = sys.as(reader, [](Reg& r) {
+      return r.verify("I will pay Bob 100 coins");
+    });
+    std::cout << "p" << reader << ": verify(promise) = " << still << "\n";
+  }
+
+  // ...and a statement p1 never signed still verifies false for everyone.
+  const bool forged =
+      sys.as(3, [](Reg& r) { return r.verify("Bob owes me 100 coins"); });
+  std::cout << "\nforged statement verifies: " << forged << "\n";
+  std::cout << "\nThe lie was recorded; the denial failed. QED.\n";
+  return 0;
+}

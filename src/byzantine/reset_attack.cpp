@@ -1,0 +1,142 @@
+#include "byzantine/reset_attack.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "byzantine/behaviors.hpp"
+#include "core/verifiable_register.hpp"
+#include "registers/space.hpp"
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+
+namespace swsig::byzantine {
+
+namespace {
+
+using Reg = core::VerifiableRegister<int>;
+
+}  // namespace
+
+ResetAttackOutcome run_reset_attack(int n, int f) {
+  if (n < 3) throw std::invalid_argument("reset attack needs n >= 3");
+  if (f < 1) throw std::invalid_argument("reset attack needs f >= 1");
+
+  ResetAttackOutcome out;
+  out.n = n;
+  out.f = f;
+
+  // Partition per the proof: s=p1, pa=p2, pb=p3; remaining processes fill
+  // Q1, Q2, Q3 greedily with at most f-1 each. (For n <= 3f this always
+  // fits; for control runs with n > 3f the surplus joins Q2 — awake and
+  // correct — which only makes the attack easier to resist, as intended.)
+  std::vector<int> q1, q2, q3;
+  for (int pid = 4; pid <= n; ++pid) {
+    if (static_cast<int>(q1.size()) < f - 1)
+      q1.push_back(pid);
+    else if (static_cast<int>(q3.size()) < f - 1)
+      q3.push_back(pid);
+    else
+      q2.push_back(pid);
+  }
+  out.byzantine = q1;
+  out.byzantine.insert(out.byzantine.begin(), 1);  // {s} ∪ Q1
+  out.asleep = q3;
+  out.asleep.insert(out.asleep.begin(), 3);  // {pb} ∪ Q3
+
+  runtime::FreeStepController controller;
+  registers::Space space(controller);
+  Reg::Config cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.v0 = 0;
+  cfg.allow_suboptimal = true;  // the whole point: step outside n > 3f
+  Reg reg(space, cfg);
+
+  // phase: 1 = honest pre-attack, 2 = reset in progress, 3 = post-reset.
+  std::atomic<int> phase{1};
+  std::atomic<int> resets_done{0};
+
+  const auto is_byzantine = [&](int pid) {
+    for (int b : out.byzantine)
+      if (b == pid) return true;
+    return false;
+  };
+  const auto is_asleep = [&](int pid) {
+    for (int a : out.asleep)
+      if (a == pid) return true;
+    return false;
+  };
+
+  std::vector<std::jthread> helpers;
+  for (int pid = 1; pid <= n; ++pid) {
+    if (is_byzantine(pid)) {
+      // Honest helper during phase 1; at phase 2, reset own registers and
+      // switch to the denying helper forever after.
+      helpers.emplace_back([&, pid](std::stop_token st) {
+        runtime::ThisProcess::Binder bind(pid);
+        DenyingHelper<Reg> denier(reg);
+        bool reset_done = false;
+        while (!st.stop_requested()) {
+          if (phase.load() == 1) {
+            if (!reg.help_round()) std::this_thread::yield();
+          } else {
+            if (!reset_done) {
+              erase_verifiable_registers(reg);
+              reset_done = true;
+              resets_done.fetch_add(1);
+            }
+            if (!denier.round()) std::this_thread::yield();
+          }
+        }
+      });
+    } else if (is_asleep(pid)) {
+      // Takes no steps before phase 3 (the proof's "blank interval").
+      helpers.emplace_back([&, pid](std::stop_token st) {
+        runtime::ThisProcess::Binder bind(pid);
+        while (!st.stop_requested() && phase.load() < 3)
+          std::this_thread::yield();
+        while (!st.stop_requested()) {
+          if (!reg.help_round()) std::this_thread::yield();
+        }
+      });
+    } else {
+      helpers.emplace_back([&, pid](std::stop_token st) {
+        runtime::ThisProcess::Binder bind(pid);
+        while (!st.stop_requested()) {
+          if (!reg.help_round()) std::this_thread::yield();
+        }
+      });
+    }
+  }
+
+  // ---- Phase 1: Set by s (acting honestly so far), Test by pa.
+  {
+    runtime::ThisProcess::Binder bind(1);
+    reg.write(1);
+    reg.sign(1);
+  }
+  {
+    runtime::ThisProcess::Binder bind(2);
+    out.first_test = reg.verify(1) ? 1 : 0;
+  }
+
+  // ---- Phase 2: Byzantine processes reset and turn into deniers.
+  phase.store(2);
+  while (resets_done.load() < static_cast<int>(out.byzantine.size()))
+    std::this_thread::yield();
+
+  // ---- Phase 3: wake {pb} ∪ Q3; Test' by pb.
+  phase.store(3);
+  {
+    runtime::ThisProcess::Binder bind(3);
+    out.second_test = reg.verify(1) ? 1 : 0;
+  }
+
+  for (auto& t : helpers) t.request_stop();
+  helpers.clear();
+  return out;
+}
+
+}  // namespace swsig::byzantine

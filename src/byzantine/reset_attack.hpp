@@ -1,0 +1,54 @@
+// Mechanization of the Theorem 29 impossibility construction (Fig. 1).
+//
+// The proof builds three indistinguishable histories H1/H2/H3 of any
+// register-based test-or-set implementation with 3 <= n <= 3f and derives a
+// contradiction with Lemma 28. This module *executes* the construction
+// against our own verifiable-register-based test-or-set, deliberately
+// configured outside its guaranteed envelope (allow_suboptimal):
+//
+//   partition   {s=p1} {pa=p2} {pb=p3}  Q1  Q2  Q3   (|Qi| <= f-1)
+//   Byzantine   {s} ∪ Q1                              (<= f processes)
+//   asleep      {pb} ∪ Q3  — take no steps before phase 3
+//
+//   phase 1   s performs Set (Write(1); Sign(1)); pa performs Test -> 1
+//   phase 2   the Byzantine processes reset all their registers to initial
+//             values and thereafter answer all helping requests with the
+//             empty witness set ("you can deny" — outside n > 3f)
+//   phase 3   {pb} ∪ Q3 wake; pb performs Test'
+//
+// For n <= 3f, Test' returns 0 although Test returned 1 — a relay violation
+// (Lemma 28(3)) between two CORRECT testers, i.e., the implementation is
+// provably not a correct test-or-set at this configuration. For n > 3f the
+// same schedule cannot break relay: at least n-2f >= f+1 correct witnesses
+// survive the reset, so pb's Test' returns 1. Benchmark T5 sweeps both
+// sides of the boundary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace swsig::byzantine {
+
+struct ResetAttackOutcome {
+  int n = 0;
+  int f = 0;             // tolerance the implementation is configured with
+  int first_test = -1;   // pa's Test   (phase 1); expected 1
+  int second_test = -1;  // pb's Test'  (phase 3)
+  std::vector<int> byzantine;  // {s} ∪ Q1
+  std::vector<int> asleep;     // {pb} ∪ Q3
+
+  // Lemma 28(3) violated: a correct tester saw 1, a later correct tester 0.
+  bool relay_violated() const {
+    return first_test == 1 && second_test == 0;
+  }
+};
+
+// Runs the attack against a fresh verifiable-register test-or-set with the
+// given (n, f). Requires n >= 4 in this harness (s, pa, pb plus at least
+// one helper-capable process; the n == 3 case of the theorem uses the same
+// schedule with empty Qi and works identically — included in tests).
+// Deterministic given the phase structure: the outcome does not depend on
+// thread timing (see the boundary analysis above).
+ResetAttackOutcome run_reset_attack(int n, int f);
+
+}  // namespace swsig::byzantine

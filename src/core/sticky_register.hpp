@@ -1,0 +1,249 @@
+// SWMR multivalued *sticky register* — Algorithm 3 of the paper.
+//
+// Sequential specification (Definition 21): the register is initialized to
+// ⊥; a Read returns either ⊥ (no Write before it) or the value of the
+// *first* Write. Once any correct process reads v ≠ ⊥, every later Read by
+// any correct process returns v — the uniqueness / non-equivocation
+// property — even if the writer is Byzantine. Byzantine linearizable and
+// terminating for n > 3f (Theorem 25).
+//
+// The witness policy here is deliberately stricter than Algorithm 1's
+// (paper §9.1): a process first *echoes* the first value it sees in E_1
+// into its own E_j, becomes a witness only after seeing n−f matching
+// echoes (or f+1 matching witnesses while helping), and the writer's
+// Write(v) returns only after n−f witnesses hold v.
+//
+// Code comments "L<k>" refer to the paper's Algorithm 3 line numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "registers/space.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::core {
+
+template <RegisterValue V, typename SpaceT = registers::Space>
+class StickyRegister {
+ public:
+  // Register types of the underlying substrate (shared-memory Space or
+  // msgpass::EmulatedSpace) — the algorithm is substrate-generic.
+  template <typename T>
+  using SwmrT = typename SpaceT::template SwmrFor<T>;
+  template <typename T>
+  using SwsrT = typename SpaceT::template SwsrFor<T>;
+
+  using Value = V;
+  using Slot = std::optional<V>;  // ⊥ is std::nullopt
+  using HelpTuple = std::pair<Slot, RoundCounter>;  // ⟨u_j, c_j⟩
+
+  struct Config {
+    int n = 4;
+    int f = 1;
+    bool allow_suboptimal = false;
+  };
+
+  StickyRegister(SpaceT& space, Config config)
+      : space_(&space), cfg_(std::move(config)) {
+    check_resilience(cfg_.n, cfg_.f, cfg_.allow_suboptimal);
+    const int n = cfg_.n;
+    echo_.resize(n + 1, nullptr);
+    witness_.resize(n + 1, nullptr);
+    channel_.assign(n + 1, std::vector<SwsrT<HelpTuple>*>(n + 1));
+    round_.resize(n + 1, nullptr);
+    help_state_.resize(n + 1);
+    for (int i = 1; i <= n; ++i) {
+      echo_[i] = &space.template make_swmr<Slot>(i, std::nullopt,
+                                        "E" + std::to_string(i));
+      witness_[i] = &space.template make_swmr<Slot>(i, std::nullopt,
+                                           "R" + std::to_string(i));
+      for (int j = 2; j <= n; ++j)
+        channel_[i][j] = &space.template make_swsr<HelpTuple>(
+            i, j, {std::nullopt, 0},
+            "R" + std::to_string(i) + "," + std::to_string(j));
+    }
+    for (int k = 2; k <= n; ++k)
+      round_[k] =
+          &space.template make_swmr<RoundCounter>(k, 0, "C" + std::to_string(k));
+  }
+
+  const Config& config() const { return cfg_; }
+
+  // ----------------------------------------------------------- writer op
+
+  // Write(v) — L1-6. Caller must be bound as p1. Returns only once n−f
+  // processes are witnesses of v (see §9.1 for why the wait is necessary).
+  // Termination relies on helpers running for all correct processes.
+  void write(const V& v) {
+    require_self(1, "Write");
+    if (echo_[1]->read().has_value()) return;  // L1: already wrote once
+    echo_[1]->write(Slot{v});                  // L2: E1 <- v
+    for (;;) {                                 // L3-5: await n−f witnesses
+      int count = 0;
+      for (int i = 1; i <= cfg_.n; ++i) {
+        const Slot ri = witness_[i]->read();   // L4
+        if (ri.has_value() && *ri == v) ++count;
+      }
+      if (count >= cfg_.n - cfg_.f) return;    // L5-6
+      std::this_thread::yield();
+    }
+  }
+
+  // ----------------------------------------------------------- reader op
+
+  // Read() — L7-22. Caller must be bound as a reader p2..pn. Returns the
+  // unique written value, or std::nullopt for ⊥.
+  Slot read() {
+    const int k = require_reader("Read");
+    std::set<int> set_bot;       // set⊥  — L7
+    std::map<int, V> setval;     // setval as pj -> value
+    for (;;) {                   // L8
+      const RoundCounter ck =
+          round_[k]->update([](RoundCounter& c) { ++c; });  // L9
+      // L10: S = processes in neither set.
+      // L11-14: repeat reading R_jk of every p_j ∈ S until some c_j >= Ck.
+      int chosen = 0;
+      HelpTuple chosen_tuple;
+      while (chosen == 0) {
+        for (int j = 1; j <= cfg_.n; ++j) {
+          if (set_bot.contains(j) || setval.contains(j)) continue;
+          HelpTuple t = channel_[j][k]->read();  // L13
+          if (t.second >= ck && chosen == 0) {   // L14
+            chosen = j;
+            chosen_tuple = std::move(t);
+          }
+        }
+        if (chosen == 0) std::this_thread::yield();
+      }
+      if (chosen_tuple.first.has_value()) {          // L15: u_j != ⊥
+        setval.emplace(chosen, *chosen_tuple.first); // L16
+        set_bot.clear();                             // L17
+      } else {                                       // L18
+        set_bot.insert(chosen);                      // L19
+      }
+      // L20-21: some value witnessed by n−f processes in setval?
+      std::map<V, int> tally;
+      for (const auto& [pj, u] : setval) ++tally[u];
+      for (const auto& [u, cnt] : tally)
+        if (cnt >= cfg_.n - cfg_.f) return Slot{u};
+      if (static_cast<int>(set_bot.size()) > cfg_.f)  // L22
+        return std::nullopt;
+    }
+  }
+
+  // ------------------------------------------------------------- helping
+
+  // One iteration of the while-loop body of Help() — L24-40.
+  bool help_round() {
+    const int j = runtime::ThisProcess::id();
+    if (j < 1 || j > cfg_.n)
+      throw std::logic_error("Help requires a thread bound to p1..pn");
+    HelpState& hs = help_state_[static_cast<std::size_t>(j)];
+
+    // L25-27: echo the first value seen in E1. The conditional update keeps
+    // this race-free against p1's own Write (see Swmr::update).
+    if (!echo_[j]->read().has_value()) {
+      const Slot e1 = echo_[1]->read();  // L26
+      echo_[j]->update([&](Slot& ej) {   // L27
+        if (!ej.has_value()) ej = e1;
+      });
+    }
+
+    // L28-30: become a witness of v on n−f matching echoes.
+    if (!witness_[j]->read().has_value()) {
+      std::map<V, int> tally;
+      for (int i = 1; i <= cfg_.n; ++i) {
+        const Slot ei = echo_[i]->read();  // L29
+        if (ei.has_value()) ++tally[*ei];
+      }
+      for (const auto& [v, cnt] : tally) {
+        if (cnt >= cfg_.n - cfg_.f) {      // L30
+          witness_[j]->update([&](Slot& rj) {
+            if (!rj.has_value()) rj = v;
+          });
+          break;
+        }
+      }
+    }
+
+    // L31-32: find askers.
+    std::map<int, RoundCounter> ck;
+    for (int k = 2; k <= cfg_.n; ++k) ck[k] = round_[k]->read();
+    std::vector<int> askers;
+    for (int k = 2; k <= cfg_.n; ++k)
+      if (ck[k] > hs.prev_ck[k]) askers.push_back(k);
+    if (askers.empty()) return false;  // L33
+
+    // L34-36: second chance to witness, via f+1 matching witnesses.
+    if (!witness_[j]->read().has_value()) {
+      std::map<V, int> tally;
+      for (int i = 1; i <= cfg_.n; ++i) {
+        const Slot ri = witness_[i]->read();  // L35
+        if (ri.has_value()) ++tally[*ri];
+      }
+      for (const auto& [v, cnt] : tally) {
+        if (cnt >= cfg_.f + 1) {              // L36
+          witness_[j]->update([&](Slot& rj) {
+            if (!rj.has_value()) rj = v;
+          });
+          break;
+        }
+      }
+    }
+
+    const Slot rj = witness_[j]->read();  // L37
+    // L38-40: answer each asker.
+    for (int k : askers) {
+      channel_[j][k]->write({rj, ck[k]});  // L39
+      hs.prev_ck[k] = ck[k];               // L40
+    }
+    return true;
+  }
+
+  // --------------------------------------------------- fault injection API
+  struct Raw {
+    std::vector<SwmrT<Slot>*>* echo;     // E_i
+    std::vector<SwmrT<Slot>*>* witness;  // R_i
+    std::vector<std::vector<SwsrT<HelpTuple>*>>* channel;  // R_ij
+    std::vector<SwmrT<RoundCounter>*>* round;  // C_k
+  };
+  Raw raw() { return Raw{&echo_, &witness_, &channel_, &round_}; }
+
+ private:
+  struct HelpState {
+    std::map<int, RoundCounter> prev_ck;  // L23
+  };
+
+  void require_self(int pid, const char* op) const {
+    if (runtime::ThisProcess::id() != pid)
+      throw std::logic_error(std::string(op) + " may only be called by p" +
+                             std::to_string(pid));
+  }
+  int require_reader(const char* op) const {
+    const int k = runtime::ThisProcess::id();
+    if (k < 2 || k > cfg_.n)
+      throw std::logic_error(std::string(op) +
+                             " may only be called by a reader p2..pn");
+    return k;
+  }
+
+  SpaceT* space_;
+  Config cfg_;
+
+  std::vector<SwmrT<Slot>*> echo_;     // E_i
+  std::vector<SwmrT<Slot>*> witness_;  // R_i
+  std::vector<std::vector<SwsrT<HelpTuple>*>> channel_;  // R_ij
+  std::vector<SwmrT<RoundCounter>*> round_;  // C_k
+
+  std::vector<HelpState> help_state_;
+};
+
+}  // namespace swsig::core

@@ -1,0 +1,98 @@
+// Test-or-set object (paper §10, Definition 26) and its three wait-free
+// implementations from the registers of this library (Observation 30).
+//
+// A test-or-set is a register initialized to 0 that a single process (the
+// *setter*) can set to 1 and that other processes (*testers*) can test:
+// Test returns 1 iff a Set occurred before it. The paper uses this object
+// to prove the n > 3f bound optimal (Theorem 29 / 31): it cannot be
+// implemented from plain SWMR registers when 3 <= n <= 3f, but it trivially
+// can from any one of the three signature-property registers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/authenticated_register.hpp"
+#include "core/sticky_register.hpp"
+#include "core/types.hpp"
+#include "core/verifiable_register.hpp"
+
+namespace swsig::core {
+
+// One-shot test-or-set interface. Set is called by the setter (p1 in all
+// the register-based implementations below); Test by any tester (p2..pn).
+class TestOrSet {
+ public:
+  virtual ~TestOrSet() = default;
+  virtual void set() = 0;
+  virtual int test() = 0;
+};
+
+// From a verifiable register initialized to 0:
+//   Set  = Write(1); Sign(1).
+//   Test = Verify(1) ? 1 : 0.
+// Linearization: Set at its Sign(1), Test at its Verify(1). (§10)
+class TestOrSetFromVerifiable final : public TestOrSet {
+ public:
+  TestOrSetFromVerifiable(registers::Space& space,
+                          VerifiableRegister<int>::Config cfg)
+      : reg_(space, [&] {
+          cfg.v0 = 0;
+          return cfg;
+        }()) {}
+
+  void set() override {
+    reg_.write(1);
+    (void)reg_.sign(1);
+  }
+  int test() override { return reg_.verify(1) ? 1 : 0; }
+
+  VerifiableRegister<int>& reg() { return reg_; }
+
+ private:
+  VerifiableRegister<int> reg_;
+};
+
+// From an authenticated register initialized to 0:
+//   Set  = Write(1).
+//   Test = Verify(1) ? 1 : 0.
+class TestOrSetFromAuthenticated final : public TestOrSet {
+ public:
+  TestOrSetFromAuthenticated(registers::Space& space,
+                             AuthenticatedRegister<int>::Config cfg)
+      : reg_(space, [&] {
+          cfg.v0 = 0;
+          return cfg;
+        }()) {}
+
+  void set() override { reg_.write(1); }
+  int test() override { return reg_.verify(1) ? 1 : 0; }
+
+  AuthenticatedRegister<int>& reg() { return reg_; }
+
+ private:
+  AuthenticatedRegister<int> reg_;
+};
+
+// From a sticky register initialized to ⊥:
+//   Set  = Write(1).
+//   Test = (Read() == 1) ? 1 : 0.
+class TestOrSetFromSticky final : public TestOrSet {
+ public:
+  TestOrSetFromSticky(registers::Space& space,
+                      StickyRegister<int>::Config cfg)
+      : reg_(space, cfg) {}
+
+  void set() override { reg_.write(1); }
+  int test() override {
+    const auto v = reg_.read();
+    return (v.has_value() && *v == 1) ? 1 : 0;
+  }
+
+  StickyRegister<int>& reg() { return reg_; }
+
+ private:
+  StickyRegister<int> reg_;
+};
+
+}  // namespace swsig::core

@@ -1,0 +1,254 @@
+// SWMR multivalued *verifiable register* — Algorithm 1 of the paper.
+//
+// Sequential specification (Definition 10): Write/Read behave like a normal
+// SWMR register; Sign(v) by the writer succeeds iff v was previously
+// written; Verify(v) by a reader returns true iff a successful Sign(v)
+// happened before it. The implementation is Byzantine linearizable and all
+// operations of correct processes terminate, for n > 3f (Theorem 14).
+//
+// Shared state (paper, Algorithm 1 header):
+//   R_i   (every p_i)       SWMR set-of-values register, initially ∅.
+//                           R_1 doubles as the writer's "signed" set; R_j
+//                           (j>1) is p_j's witness set.
+//   R_ij  (every p_i, every reader p_j)
+//                           SWSR register readable by p_j, initially ⟨∅,0⟩;
+//                           p_i's helping channel to p_j.
+//   R*    (writer)          SWMR value register, initially v0.
+//   C_k   (every reader)    SWMR round counter, initially 0.
+//
+// Code comments "L<k>" refer to the paper's Algorithm 1 line numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "registers/space.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::core {
+
+template <RegisterValue V, typename SpaceT = registers::Space>
+class VerifiableRegister {
+ public:
+  // Register types of the underlying substrate (shared-memory Space or
+  // msgpass::EmulatedSpace) — the algorithm is substrate-generic.
+  template <typename T>
+  using SwmrT = typename SpaceT::template SwmrFor<T>;
+  template <typename T>
+  using SwsrT = typename SpaceT::template SwsrFor<T>;
+
+  using Value = V;
+  using ValueSet = std::set<V>;
+  // ⟨r_j, c_j⟩ tuple stored in the helping channels R_jk.
+  using HelpTuple = std::pair<ValueSet, RoundCounter>;
+
+  struct Config {
+    int n = 4;          // total number of processes p1..pn
+    int f = 1;          // tolerated Byzantine processes; requires n > 3f
+    V v0 = V{};         // initial register value
+    bool allow_suboptimal = false;  // permit n <= 3f (experiment T5 only)
+  };
+
+  VerifiableRegister(SpaceT& space, Config config)
+      : space_(&space), cfg_(std::move(config)) {
+    check_resilience(cfg_.n, cfg_.f, cfg_.allow_suboptimal);
+    const int n = cfg_.n;
+    witness_.resize(n + 1, nullptr);
+    channel_.assign(n + 1, std::vector<SwsrT<HelpTuple>*>(n + 1));
+    round_.resize(n + 1, nullptr);
+    help_state_.resize(n + 1);
+    for (int i = 1; i <= n; ++i) {
+      witness_[i] = &space.template make_swmr<ValueSet>(i, {}, "R" + std::to_string(i));
+      for (int j = 2; j <= n; ++j) {
+        channel_[i][j] = &space.template make_swsr<HelpTuple>(
+            i, j, {{}, 0},
+            "R" + std::to_string(i) + "," + std::to_string(j));
+      }
+    }
+    last_value_ = &space.template make_swmr<V>(1, cfg_.v0, "R*");
+    for (int k = 2; k <= n; ++k) {
+      round_[k] = &space.template make_swmr<RoundCounter>(k, 0,
+                                                 "C" + std::to_string(k));
+    }
+  }
+
+  const Config& config() const { return cfg_; }
+
+  // ----------------------------------------------------------- writer ops
+
+  // Write(v) — L1-3. Caller must be bound as p1.
+  void write(const V& v) {
+    require_self(1, "Write");
+    last_value_->write(v);    // L1: R* <- v
+    written_.insert(v);       // L2: r* <- r* ∪ {v}  (writer-local)
+  }                           // L3: return done
+
+  // Sign(v) — L4-8. Caller must be bound as p1.
+  SignResult sign(const V& v) {
+    require_self(1, "Sign");
+    if (written_.contains(v)) {                           // L4: v ∈ r*?
+      witness_[1]->update([&](ValueSet& r1) { r1.insert(v); });  // L5
+      return SignResult::kSuccess;                        // L6
+    }
+    return SignResult::kFail;                             // L7-8
+  }
+
+  // ----------------------------------------------------------- reader ops
+
+  // Read() — L9-10. Caller must be bound as a reader p2..pn.
+  V read() {
+    const int k = require_reader("Read");
+    (void)k;
+    return last_value_->read();  // L9-10: v <- R*; return v
+  }
+
+  // Verify(v) — L11-24. Caller must be bound as a reader p2..pn.
+  // Termination relies on helper threads running help_round() for all
+  // correct processes (Theorem 43).
+  bool verify(const V& v) {
+    const int k = require_reader("Verify");
+    std::set<int> set0, set1;  // L11
+    for (;;) {                 // L12: while true
+      // L13: Ck <- Ck + 1 (single owner step; see Swmr::update).
+      const RoundCounter ck =
+          round_[k]->update([](RoundCounter& c) { ++c; });
+      // L14-17: repeat reading R_jk of every p_j ∉ set1 ∪ set0 until some
+      // such p_j has c_j >= Ck. We take the smallest satisfying pid of each
+      // pass (the paper allows any).
+      int chosen = 0;
+      HelpTuple chosen_tuple;
+      while (chosen == 0) {
+        for (int j = 1; j <= cfg_.n; ++j) {
+          if (set0.contains(j) || set1.contains(j)) continue;
+          HelpTuple t = channel_[j][k]->read();  // L16
+          if (t.second >= ck && chosen == 0) {   // L17 (∃ p_j: c_j >= Ck)
+            chosen = j;
+            chosen_tuple = std::move(t);
+          }
+        }
+        if (chosen == 0) std::this_thread::yield();  // free-mode politeness
+      }
+      if (chosen_tuple.first.contains(v)) {  // L18: v ∈ r_j
+        set1.insert(chosen);                 // L19
+        set0.clear();                        // L20
+      } else {                               // L21: v ∉ r_j
+        set0.insert(chosen);                 // L22
+      }
+      if (static_cast<int>(set1.size()) >= cfg_.n - cfg_.f)  // L23
+        return true;
+      if (static_cast<int>(set0.size()) > cfg_.f)            // L24
+        return false;
+    }
+  }
+
+  // ------------------------------------------------------------- helping
+
+  // One iteration of the while-loop body of Help() — L26-36. Runs as the
+  // process the calling thread is bound to (any of p1..pn). Returns true if
+  // it served at least one asker (used for idle backoff by the runner).
+  bool help_round() {
+    const int j = runtime::ThisProcess::id();
+    require_valid_pid(j, "Help");
+    HelpState& hs = help_state_[static_cast<std::size_t>(j)];
+
+    // L27: read every reader's round counter.
+    std::map<int, RoundCounter> ck;
+    for (int k = 2; k <= cfg_.n; ++k) ck[k] = round_[k]->read();
+    // L28: askers = readers whose counter increased since we last helped.
+    std::vector<int> askers;
+    for (int k = 2; k <= cfg_.n; ++k)
+      if (ck[k] > hs.prev_ck[k]) askers.push_back(k);
+    if (askers.empty()) return false;  // L29
+
+    // L30: read every witness register.
+    std::vector<ValueSet> r(static_cast<std::size_t>(cfg_.n) + 1);
+    for (int i = 1; i <= cfg_.n; ++i)
+      r[static_cast<std::size_t>(i)] = witness_[i]->read();
+
+    // L31-32: become a witness of v if the writer signed v (v ∈ r1) or at
+    // least f+1 processes are already witnesses of v.
+    ValueSet candidates;
+    for (int i = 1; i <= cfg_.n; ++i)
+      candidates.insert(r[static_cast<std::size_t>(i)].begin(),
+                        r[static_cast<std::size_t>(i)].end());
+    for (const V& v : candidates) {
+      int count = 0;
+      for (int i = 1; i <= cfg_.n; ++i)
+        if (r[static_cast<std::size_t>(i)].contains(v)) ++count;
+      if (r[1].contains(v) || count >= cfg_.f + 1) {
+        witness_[j]->update([&](ValueSet& rj) { rj.insert(v); });  // L32
+      }
+    }
+
+    // L33: r_j <- R_j.
+    const ValueSet rj = witness_[j]->read();
+    // L34-36: answer each asker and remember the round we served.
+    for (int k : askers) {
+      channel_[j][k]->write({rj, ck[k]});  // L35
+      hs.prev_ck[k] = ck[k];               // L36
+    }
+    return true;
+  }
+
+  // --------------------------------------------------- fault injection API
+
+  // Raw handles to this instance's shared registers. Byzantine behaviors
+  // (src/byzantine) use these to mount the attacks from the paper; port
+  // enforcement still applies, so a behavior bound as p_i can only write
+  // p_i's registers — exactly the model's adversary.
+  struct Raw {
+    std::vector<SwmrT<ValueSet>*>* witness;  // R_i, index by pid
+    std::vector<std::vector<SwsrT<HelpTuple>*>>* channel;  // R_ij
+    SwmrT<V>* last_value;                    // R*
+    std::vector<SwmrT<RoundCounter>*>* round;  // C_k
+  };
+  Raw raw() { return Raw{&witness_, &channel_, last_value_, &round_}; }
+
+ private:
+  struct HelpState {
+    std::map<int, RoundCounter> prev_ck;  // L25 (defaults to 0)
+  };
+
+  void require_valid_pid(int pid, const char* op) const {
+    if (pid < 1 || pid > cfg_.n)
+      throw std::logic_error(std::string(op) +
+                             " requires a thread bound to p1..pn");
+  }
+  void require_self(int pid, const char* op) const {
+    if (runtime::ThisProcess::id() != pid)
+      throw std::logic_error(std::string(op) + " may only be called by p" +
+                             std::to_string(pid));
+  }
+  int require_reader(const char* op) const {
+    const int k = runtime::ThisProcess::id();
+    if (k < 2 || k > cfg_.n)
+      throw std::logic_error(std::string(op) +
+                             " may only be called by a reader p2..pn");
+    return k;
+  }
+
+  SpaceT* space_;
+  Config cfg_;
+
+  // Shared registers (owned by the Space; raw pointers are stable).
+  std::vector<SwmrT<ValueSet>*> witness_;                // R_i
+  std::vector<std::vector<SwsrT<HelpTuple>*>> channel_;  // R_ij
+  SwmrT<V>* last_value_ = nullptr;                       // R*
+  std::vector<SwmrT<RoundCounter>*> round_;              // C_k
+
+  // Writer-local state (touched only by p1's operation thread).
+  ValueSet written_;  // r*
+
+  // Helper-local state, one slot per process (touched only by that
+  // process's helper thread).
+  std::vector<HelpState> help_state_;
+};
+
+}  // namespace swsig::core

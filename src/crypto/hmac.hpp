@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104 / RFC 4231). Used by the signature oracle as the
+// tag function; verified against RFC 4231 test vectors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace swsig::crypto {
+
+// Computes HMAC-SHA256(key, message).
+Digest hmac_sha256(std::string_view key, std::string_view message);
+
+}  // namespace swsig::crypto

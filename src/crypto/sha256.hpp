@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch — the offline environment
+// has no crypto library, and the signature baseline (S8/S9 in DESIGN.md)
+// needs realistic hashing cost. Verified against FIPS/NIST test vectors in
+// tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swsig::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+  // Finalizes and returns the digest; the object must be reset() before
+  // reuse.
+  Digest finish();
+
+  // One-shot convenience.
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+// Lowercase hex rendering of a digest (for tests and logs).
+std::string to_hex(const Digest& digest);
+
+}  // namespace swsig::crypto

@@ -1,0 +1,56 @@
+#include "crypto/signer.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace swsig::crypto {
+
+SignatureAuthority::SignatureAuthority(Options options)
+    : options_(options) {
+  if (options_.n < 1) throw std::invalid_argument("need n >= 1");
+  util::Rng rng(options_.seed ^ 0x51677ea7u);  // "SIGAUTH"-ish salt
+  keys_.resize(static_cast<std::size_t>(options_.n) + 1);
+  for (int pid = 1; pid <= options_.n; ++pid) {
+    std::string key(32, '\0');
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t word = rng();
+      for (int b = 0; b < 8; ++b)
+        key[static_cast<std::size_t>(8 * i + b)] =
+            static_cast<char>(word >> (8 * b));
+    }
+    keys_[static_cast<std::size_t>(pid)] = std::move(key);
+  }
+}
+
+Digest SignatureAuthority::tag(runtime::ProcessId signer,
+                               std::string_view message) const {
+  const std::string& key = keys_[static_cast<std::size_t>(signer)];
+  Digest d = hmac_sha256(key, message);
+  if (options_.mode == Mode::kSlowPk) {
+    for (int i = 1; i < options_.pk_iterations; ++i) {
+      d = hmac_sha256(key,
+                      std::string_view(reinterpret_cast<const char*>(d.data()),
+                                       d.size()));
+    }
+  }
+  return d;
+}
+
+Signature SignatureAuthority::sign(runtime::ProcessId signer,
+                                   std::string_view message) const {
+  if (signer < 1 || signer > options_.n)
+    throw std::invalid_argument("unknown signer p" + std::to_string(signer));
+  if (runtime::ThisProcess::id() != signer)
+    throw ForgeryAttempt("p" + std::to_string(runtime::ThisProcess::id()) +
+                         " attempted to sign as p" + std::to_string(signer));
+  return Signature{signer, tag(signer, message)};
+}
+
+bool SignatureAuthority::verify(std::string_view message,
+                                const Signature& sig) const {
+  if (sig.signer < 1 || sig.signer > options_.n) return false;
+  return tag(sig.signer, message) == sig.tag;
+}
+
+}  // namespace swsig::crypto

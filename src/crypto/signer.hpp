@@ -1,0 +1,89 @@
+// Oracle-enforced unforgeable signatures (substitution S8 in DESIGN.md).
+//
+// The paper assumes signatures whose forgery is computationally hard
+// (footnote 1). Offline we have no PKI, so we *enforce* unforgeability
+// structurally: a SignatureAuthority holds every process's secret key and
+// never reveals it; sign(pid, m) is only honored for the process the
+// calling thread is bound to (same thread-identity mechanism the register
+// ports use). A Byzantine process can therefore sign anything *as itself* —
+// "you can lie" — but cannot produce another process's signature. Tags are
+// real HMAC-SHA256 computations so the baseline pays realistic hashing
+// cost; kSlowPk mode multiplies the work to model public-key signatures
+// (calibrated in bench T11).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::crypto {
+
+struct Signature {
+  runtime::ProcessId signer = runtime::kNoProcess;
+  Digest tag{};
+
+  friend auto operator<=>(const Signature&, const Signature&) = default;
+};
+
+// Byte encoding of values for signing. Integral types use 8-byte
+// little-endian; strings sign their bytes. Extend by overloading.
+template <typename V>
+std::string encode_value(const V& v) {
+  if constexpr (std::is_integral_v<V>) {
+    std::string out(8, '\0');
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i)
+      out[static_cast<std::size_t>(i)] = static_cast<char>(u >> (8 * i));
+    return out;
+  } else {
+    return std::string(v);
+  }
+}
+
+class SignatureAuthority {
+ public:
+  enum class Mode {
+    kHmac,    // one HMAC per sign/verify
+    kSlowPk,  // pk_iterations chained HMACs (public-key cost model)
+  };
+
+  struct Options {
+    int n = 4;                 // processes p1..pn
+    std::uint64_t seed = 1;    // key material derivation
+    Mode mode = Mode::kHmac;
+    int pk_iterations = 64;    // extra work factor in kSlowPk mode
+  };
+
+  explicit SignatureAuthority(Options options);
+
+  // Signs `message` as process `signer`. Throws ForgeryAttempt if the
+  // calling thread is not bound as `signer` — this is the unforgeability
+  // guarantee.
+  Signature sign(runtime::ProcessId signer, std::string_view message) const;
+
+  // Anyone may verify anyone's signature.
+  bool verify(std::string_view message, const Signature& sig) const;
+
+  int n() const { return options_.n; }
+
+ private:
+  Digest tag(runtime::ProcessId signer, std::string_view message) const;
+
+  Options options_;
+  std::vector<std::string> keys_;  // index by pid; [0] unused
+};
+
+class ForgeryAttempt : public std::logic_error {
+ public:
+  explicit ForgeryAttempt(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace swsig::crypto

@@ -1,0 +1,81 @@
+#include "lincheck/checker.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace swsig::lincheck {
+
+namespace {
+
+struct SearchContext {
+  const std::vector<Operation>* ops = nullptr;
+  std::vector<std::vector<bool>> precedes;  // [i][j]: ops[i] precedes ops[j]
+  std::unordered_set<std::string> visited;  // (mask, state) dead ends
+  std::vector<int> witness;
+  std::uint64_t states = 0;
+};
+
+bool search(SearchContext& ctx, std::uint64_t done_mask,
+            const SequentialSpec& spec) {
+  const auto& ops = *ctx.ops;
+  const std::size_t n = ops.size();
+  if (std::popcount(done_mask) == static_cast<int>(n)) return true;
+
+  const std::string key = std::to_string(done_mask) + "|" + spec.state_key();
+  if (ctx.visited.contains(key)) return false;
+  ++ctx.states;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done_mask & (1ULL << i)) continue;
+    // ops[i] is a candidate next linearization point only if no other
+    // pending operation strictly precedes it in real time.
+    bool minimal = true;
+    for (std::size_t j = 0; j < n && minimal; ++j) {
+      if (i == j || (done_mask & (1ULL << j))) continue;
+      if (ctx.precedes[j][i]) minimal = false;
+    }
+    if (!minimal) continue;
+
+    auto next = spec.clone();
+    if (!next->apply(ops[i])) continue;
+    ctx.witness.push_back(ops[i].id);
+    if (search(ctx, done_mask | (1ULL << i), *next)) return true;
+    ctx.witness.pop_back();
+  }
+
+  ctx.visited.insert(key);
+  return false;
+}
+
+}  // namespace
+
+CheckResult check_linearizable(const std::vector<Operation>& ops,
+                               const SequentialSpec& initial_spec) {
+  if (ops.size() > 62)
+    throw std::invalid_argument(
+        "checker supports histories of at most 62 operations");
+
+  // Sort by invocation time for stable candidate order (pure heuristic).
+  std::vector<Operation> sorted = ops;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Operation& a, const Operation& b) {
+              return a.invoke_ts < b.invoke_ts;
+            });
+
+  SearchContext ctx;
+  ctx.ops = &sorted;
+  ctx.precedes.assign(sorted.size(), std::vector<bool>(sorted.size(), false));
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    for (std::size_t j = 0; j < sorted.size(); ++j)
+      if (i != j) ctx.precedes[i][j] = sorted[i].precedes(sorted[j]);
+
+  CheckResult result;
+  result.linearizable = search(ctx, 0, initial_spec);
+  result.witness = std::move(ctx.witness);
+  result.states_explored = ctx.states;
+  return result;
+}
+
+}  // namespace swsig::lincheck

@@ -1,0 +1,42 @@
+// Wing–Gong linearizability checker.
+//
+// Searches for a linearization L of a completed history H that (1) respects
+// real-time precedence and (2) conforms to a sequential specification
+// (Definition 4). Exponential in the worst case; with memoization on
+// (linearized-set, spec-state) it comfortably handles the history sizes our
+// stress tests record (<= 64 operations).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lincheck/history.hpp"
+
+namespace swsig::lincheck {
+
+// A sequential object specification. apply() attempts to execute `op`
+// (including checking its recorded result) against the current state.
+class SequentialSpec {
+ public:
+  virtual ~SequentialSpec() = default;
+  virtual std::unique_ptr<SequentialSpec> clone() const = 0;
+  // True iff op (with its recorded result) is legal in the current state;
+  // mutates the state accordingly.
+  virtual bool apply(const Operation& op) = 0;
+  // Canonical encoding of the current state (memoization key component).
+  virtual std::string state_key() const = 0;
+};
+
+struct CheckResult {
+  bool linearizable = false;
+  // A witness linearization (operation ids in order) when found.
+  std::vector<int> witness;
+  std::uint64_t states_explored = 0;
+};
+
+// Checks the history against the spec. `ops` may be in any order.
+CheckResult check_linearizable(const std::vector<Operation>& ops,
+                               const SequentialSpec& initial_spec);
+
+}  // namespace swsig::lincheck

@@ -1,0 +1,37 @@
+#include "lincheck/history.hpp"
+
+namespace swsig::lincheck {
+
+int HistoryRecorder::invoke(const std::string& name, std::string arg) {
+  const std::uint64_t ts = clock_.fetch_add(1);
+  std::scoped_lock lock(mu_);
+  Operation op;
+  op.id = static_cast<int>(pending_.size());
+  op.pid = runtime::ThisProcess::id();
+  op.name = name;
+  op.arg = std::move(arg);
+  op.invoke_ts = ts;
+  pending_.push_back(std::move(op));
+  return static_cast<int>(pending_.size()) - 1;
+}
+
+void HistoryRecorder::respond(int token, std::string result) {
+  const std::uint64_t ts = clock_.fetch_add(1);
+  std::scoped_lock lock(mu_);
+  Operation op = pending_.at(static_cast<std::size_t>(token));
+  op.result = std::move(result);
+  op.response_ts = ts;
+  completed_.push_back(std::move(op));
+}
+
+std::vector<Operation> HistoryRecorder::operations() const {
+  std::scoped_lock lock(mu_);
+  return completed_;
+}
+
+std::size_t HistoryRecorder::completed_count() const {
+  std::scoped_lock lock(mu_);
+  return completed_.size();
+}
+
+}  // namespace swsig::lincheck

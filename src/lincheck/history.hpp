@@ -1,0 +1,68 @@
+// Operation-history recording for linearizability checking (§3.2).
+//
+// Tests wrap implemented-object operations in invoke()/respond() calls; the
+// recorder timestamps both ends with a global logical clock, yielding the
+// real-time precedence order that a linearization must respect
+// (Definition 4). Operations are stored type-erased (name/arg/result
+// strings) so one checker serves every object in the library.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/process.hpp"
+
+namespace swsig::lincheck {
+
+struct Operation {
+  int id = 0;
+  runtime::ProcessId pid = runtime::kNoProcess;
+  std::string name;    // "write", "read", "sign", "verify", "set", "test"...
+  std::string arg;     // stringified argument ("" if none)
+  std::string result;  // stringified response
+  std::uint64_t invoke_ts = 0;
+  std::uint64_t response_ts = 0;
+
+  // Real-time precedence (Definition 1).
+  bool precedes(const Operation& other) const {
+    return response_ts < other.invoke_ts;
+  }
+};
+
+class HistoryRecorder {
+ public:
+  // Marks the invocation of an operation by the bound process; returns a
+  // token to pass to respond().
+  int invoke(const std::string& name, std::string arg = "");
+
+  // Marks the response; the operation becomes part of the history.
+  void respond(int token, std::string result);
+
+  // Convenience: records fn() as one complete operation, stringifying its
+  // result with `render`.
+  template <typename F, typename R>
+  auto record(const std::string& name, std::string arg, F&& fn, R&& render) {
+    const int token = invoke(name, std::move(arg));
+    auto result = std::forward<F>(fn)();
+    respond(token, render(result));
+    return result;
+  }
+
+  // All completed operations, in arbitrary order. Incomplete operations are
+  // dropped (permitted by Definition 2's completion construction: a correct
+  // checker may remove pending invocations).
+  std::vector<Operation> operations() const;
+
+  std::size_t completed_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> clock_{1};
+  std::vector<Operation> pending_;    // index by token
+  std::vector<Operation> completed_;
+};
+
+}  // namespace swsig::lincheck

@@ -1,0 +1,141 @@
+// History-level checkers for the paper's per-register-type observations.
+//
+// Full Byzantine linearizability of a history with a faulty writer is
+// established in the paper by *constructing* a matching witness history
+// (Definitions 78/143); checking it mechanically would require synthesizing
+// the faulty writer's operations. Instead — exactly as the paper's
+// observations suggest — we check the properties that characterize correct-
+// process-visible behavior: validity, unforgeability, relay, uniqueness.
+// For histories where ALL processes are correct, tests additionally run the
+// full Wing–Gong check (checker.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lincheck/history.hpp"
+
+namespace swsig::lincheck {
+
+struct PropertyViolation {
+  std::string property;
+  std::string detail;
+};
+
+using Violations = std::vector<PropertyViolation>;
+
+// Observation 13 / 18: if Verify(v) -> true precedes Verify(v) -> false,
+// relay is broken.
+inline Violations check_relay(const std::vector<Operation>& ops) {
+  Violations out;
+  for (const Operation& a : ops) {
+    if (a.name != "verify" || a.result != "true") continue;
+    for (const Operation& b : ops) {
+      if (b.name != "verify" || b.arg != a.arg || b.result != "false")
+        continue;
+      if (a.precedes(b)) {
+        out.push_back({"relay", "verify(" + a.arg + ")=true (op " +
+                                    std::to_string(a.id) +
+                                    ") precedes verify=false (op " +
+                                    std::to_string(b.id) + ")"});
+      }
+    }
+  }
+  return out;
+}
+
+// Observation 11: Sign(v)=success precedes Verify(v)=false => violation.
+// (For authenticated registers pass sign_name = "write".)
+inline Violations check_validity(const std::vector<Operation>& ops,
+                                 const std::string& sign_name = "sign") {
+  Violations out;
+  for (const Operation& s : ops) {
+    if (s.name != sign_name) continue;
+    if (sign_name == "sign" && s.result != "success") continue;
+    for (const Operation& v : ops) {
+      if (v.name != "verify" || v.arg != s.arg || v.result != "false")
+        continue;
+      if (s.precedes(v)) {
+        out.push_back({"validity", sign_name + "(" + s.arg +
+                                       ") precedes verify=false (op " +
+                                       std::to_string(v.id) + ")"});
+      }
+    }
+  }
+  return out;
+}
+
+// Observation 12 (writer-correct histories only): Verify(v)=true requires a
+// Sign(v)=success (or Write(v) for authenticated) that precedes or overlaps
+// it.
+inline Violations check_unforgeability(const std::vector<Operation>& ops,
+                                       const std::string& sign_name = "sign",
+                                       const std::string& v0 = "") {
+  Violations out;
+  for (const Operation& v : ops) {
+    if (v.name != "verify" || v.result != "true") continue;
+    if (!v0.empty() && v.arg == v0) continue;  // v0 deemed signed
+    bool justified = false;
+    for (const Operation& s : ops) {
+      if (s.name != sign_name || s.arg != v.arg) continue;
+      if (sign_name == "sign" && s.result != "success") continue;
+      if (!v.precedes(s)) {  // s precedes or is concurrent with v
+        justified = true;
+        break;
+      }
+    }
+    if (!justified)
+      out.push_back({"unforgeability",
+                     "verify(" + v.arg + ")=true (op " +
+                         std::to_string(v.id) + ") has no justifying " +
+                         sign_name});
+  }
+  return out;
+}
+
+// Observation 24 (sticky): two reads returning different non-⊥ values, or
+// read(v) preceding read(⊥), violate uniqueness.
+inline Violations check_uniqueness(const std::vector<Operation>& ops) {
+  Violations out;
+  std::optional<std::string> value;
+  for (const Operation& r : ops) {
+    if (r.name != "read" || r.result == "⊥") continue;
+    if (!value) {
+      value = r.result;
+    } else if (*value != r.result) {
+      out.push_back({"uniqueness", "reads returned both " + *value +
+                                       " and " + r.result});
+    }
+  }
+  for (const Operation& a : ops) {
+    if (a.name != "read" || a.result == "⊥") continue;
+    for (const Operation& b : ops) {
+      if (b.name != "read" || b.result != "⊥") continue;
+      if (a.precedes(b))
+        out.push_back({"uniqueness", "read=" + a.result + " (op " +
+                                         std::to_string(a.id) +
+                                         ") precedes read=⊥ (op " +
+                                         std::to_string(b.id) + ")"});
+    }
+  }
+  return out;
+}
+
+// Test-or-set relay (Lemma 28(3)): test=1 preceding test=0.
+inline Violations check_test_relay(const std::vector<Operation>& ops) {
+  Violations out;
+  for (const Operation& a : ops) {
+    if (a.name != "test" || a.result != "1") continue;
+    for (const Operation& b : ops) {
+      if (b.name != "test" || b.result != "0") continue;
+      if (a.precedes(b))
+        out.push_back({"test-relay", "test=1 (op " + std::to_string(a.id) +
+                                         ") precedes test=0 (op " +
+                                         std::to_string(b.id) + ")"});
+    }
+  }
+  return out;
+}
+
+}  // namespace swsig::lincheck

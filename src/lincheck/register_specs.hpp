@@ -1,0 +1,206 @@
+// Sequential specifications of every object in the library, for the
+// Wing–Gong checker. Operation encoding (all values stringified):
+//
+//   plain / verifiable / authenticated register:
+//     ("write", v) -> "done"        ("read", "") -> v
+//     ("sign",  v) -> "success"|"fail"
+//     ("verify",v) -> "true"|"false"
+//   sticky register:
+//     ("write", v) -> "done"        ("read", "") -> v | "⊥"
+//   test-or-set:
+//     ("set", "") -> "done"         ("test", "") -> "0"|"1"
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lincheck/checker.hpp"
+
+namespace swsig::lincheck {
+
+// Definition 10-style plain SWMR register (Read/Write only).
+class PlainRegisterSpec final : public SequentialSpec {
+ public:
+  explicit PlainRegisterSpec(std::string v0) : last_(std::move(v0)) {}
+
+  std::unique_ptr<SequentialSpec> clone() const override {
+    return std::make_unique<PlainRegisterSpec>(*this);
+  }
+
+  bool apply(const Operation& op) override {
+    if (op.name == "write") {
+      last_ = op.arg;
+      return op.result == "done";
+    }
+    if (op.name == "read") return op.result == last_;
+    return false;
+  }
+
+  std::string state_key() const override { return last_; }
+
+ private:
+  std::string last_;
+};
+
+// Definition 10: verifiable register.
+class VerifiableRegisterSpec final : public SequentialSpec {
+ public:
+  explicit VerifiableRegisterSpec(std::string v0) : last_(std::move(v0)) {}
+
+  std::unique_ptr<SequentialSpec> clone() const override {
+    return std::make_unique<VerifiableRegisterSpec>(*this);
+  }
+
+  bool apply(const Operation& op) override {
+    if (op.name == "write") {
+      last_ = op.arg;
+      written_.insert(op.arg);
+      return op.result == "done";
+    }
+    if (op.name == "read") return op.result == last_;
+    if (op.name == "sign") {
+      const bool ok = written_.contains(op.arg);
+      if (ok) signed_.insert(op.arg);
+      return op.result == (ok ? "success" : "fail");
+    }
+    if (op.name == "verify")
+      return op.result == (signed_.contains(op.arg) ? "true" : "false");
+    return false;
+  }
+
+  std::string state_key() const override {
+    std::string key = last_ + "#";
+    for (const auto& v : written_) key += v + ",";
+    key += "#";
+    for (const auto& v : signed_) key += v + ",";
+    return key;
+  }
+
+ private:
+  std::string last_;
+  std::set<std::string> written_;
+  std::set<std::string> signed_;
+};
+
+// Definition 15: authenticated register (every write auto-signed; v0 signed).
+class AuthenticatedRegisterSpec final : public SequentialSpec {
+ public:
+  explicit AuthenticatedRegisterSpec(std::string v0) : last_(v0) {
+    written_.insert(std::move(v0));
+  }
+
+  std::unique_ptr<SequentialSpec> clone() const override {
+    return std::make_unique<AuthenticatedRegisterSpec>(*this);
+  }
+
+  bool apply(const Operation& op) override {
+    if (op.name == "write") {
+      last_ = op.arg;
+      written_.insert(op.arg);
+      return op.result == "done";
+    }
+    if (op.name == "read") return op.result == last_;
+    if (op.name == "verify")
+      return op.result == (written_.contains(op.arg) ? "true" : "false");
+    return false;
+  }
+
+  std::string state_key() const override {
+    std::string key = last_ + "#";
+    for (const auto& v : written_) key += v + ",";
+    return key;
+  }
+
+ private:
+  std::string last_;
+  std::set<std::string> written_;
+};
+
+// Definition 21: sticky register ("⊥" encodes the initial bottom value).
+class StickyRegisterSpec final : public SequentialSpec {
+ public:
+  std::unique_ptr<SequentialSpec> clone() const override {
+    return std::make_unique<StickyRegisterSpec>(*this);
+  }
+
+  bool apply(const Operation& op) override {
+    if (op.name == "write") {
+      if (first_.empty()) first_ = op.arg;  // later writes are no-ops
+      return op.result == "done";
+    }
+    if (op.name == "read")
+      return op.result == (first_.empty() ? "⊥" : first_);
+    return false;
+  }
+
+  std::string state_key() const override { return first_; }
+
+ private:
+  std::string first_;  // empty = ⊥
+};
+
+// Single-writer atomic snapshot (one segment per process).
+// Operation encoding: ("update", "<pid>:<value>") -> "done";
+//                     ("scan", "") -> "v1|v2|...|vn".
+class SnapshotSpec final : public SequentialSpec {
+ public:
+  SnapshotSpec(int n, std::string v0) : values_(static_cast<std::size_t>(n) + 1, std::move(v0)) {}
+
+  std::unique_ptr<SequentialSpec> clone() const override {
+    return std::make_unique<SnapshotSpec>(*this);
+  }
+
+  bool apply(const Operation& op) override {
+    if (op.name == "update") {
+      const auto colon = op.arg.find(':');
+      if (colon == std::string::npos) return false;
+      const std::size_t pid =
+          static_cast<std::size_t>(std::stoi(op.arg.substr(0, colon)));
+      if (pid == 0 || pid >= values_.size()) return false;
+      values_[pid] = op.arg.substr(colon + 1);
+      return op.result == "done";
+    }
+    if (op.name == "scan") return op.result == render();
+    return false;
+  }
+
+  std::string state_key() const override { return render(); }
+
+ private:
+  std::string render() const {
+    std::string out;
+    for (std::size_t i = 1; i < values_.size(); ++i) {
+      if (i > 1) out += "|";
+      out += values_[i];
+    }
+    return out;
+  }
+
+  std::vector<std::string> values_;
+};
+
+// Definition 26: one-shot test-or-set.
+class TestOrSetSpec final : public SequentialSpec {
+ public:
+  std::unique_ptr<SequentialSpec> clone() const override {
+    return std::make_unique<TestOrSetSpec>(*this);
+  }
+
+  bool apply(const Operation& op) override {
+    if (op.name == "set") {
+      set_ = true;
+      return op.result == "done";
+    }
+    if (op.name == "test") return op.result == (set_ ? "1" : "0");
+    return false;
+  }
+
+  std::string state_key() const override { return set_ ? "1" : "0"; }
+
+ private:
+  bool set_ = false;
+};
+
+}  // namespace swsig::lincheck

@@ -1,0 +1,471 @@
+// Signature-free emulation of atomic SWMR registers in an asynchronous
+// Byzantine message-passing system with n > 3f — the substrate behind the
+// paper's closing corollary ("SWMR registers can be implemented in
+// message-passing systems with n > 3f [11], hence so can our registers").
+//
+// This is a documented reconstruction in the spirit of Mostéfaoui,
+// Petrolia, Raynal, Jard (2017) — their exact pseudo-code is not in the
+// reproduced paper. Structure (per register, writer w):
+//
+//   Write(sn, v)   by w: broadcast WRITE(sn, v); wait for ACK(sn) from
+//                  n−f distinct processes.
+//   on WRITE(sn,v) first WRITE seen for this sn: broadcast ECHO(sn, v)
+//                  (echo-once-per-sn blocks equivocation support).
+//   on n−f ECHO(sn,v):   broadcast ACCEPT(sn, v)         [once per pair]
+//   on f+1 ACCEPT(sn,v): broadcast ACCEPT(sn, v)         [amplification]
+//   on n−f ACCEPT(sn,v): deliver — store (sn,v) if sn is the highest
+//                  delivered so far; send ACK(sn) to w.
+//
+//   Read()   by r: broadcast READ(rid); wait for STATE(rid, sn, v) replies;
+//            return v of the highest pair reported identically by n−f
+//            distinct processes; if no pair reaches n−f support among the
+//            replies, retry with a fresh rid.
+//
+// Why it is safe (n > 3f):
+//  * Per sn, only one value can gather n−f echoes (echo-once + quorum
+//    intersection), so delivered pairs are unique per sn.
+//  * The ECHO→ACCEPT→amplify→deliver ladder is Bracha's totality argument:
+//    if any correct process delivers (sn,v), every correct process
+//    eventually delivers it. Hence a read that returns (sn,v) — which
+//    requires n−f identical STATEs, i.e. at least f+1 correct holders —
+//    guarantees every later read sees at least sn: at most n−f−(f+1)+f =
+//    n−f−1 < n−f processes can still report an older pair. No write-back
+//    phase is needed because the n−f read threshold self-certifies.
+//  * Liveness: reads terminate once the writer quiesces (correct stores
+//    converge via totality); under an infinite write storm a read may
+//    retry unboundedly — the shared-memory algorithms built on top issue
+//    finitely many writes per operation. Recorded in DESIGN.md note 6.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <stop_token>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msgpass/network.hpp"
+#include "registers/errors.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::msgpass {
+
+class EmulatedSpace;
+
+namespace detail {
+struct HandlerBase {
+  virtual ~HandlerBase() = default;
+  // Runs on the server thread of the receiving process (bound to its pid).
+  virtual void handle(const Message& m) = 0;
+};
+}  // namespace detail
+
+// One emulated SWMR register: protocol state for all n processes plus the
+// client-side operations. All state is guarded by one mutex; message
+// handling runs on per-process server threads owned by the EmulatedSpace.
+template <typename T>
+class EmulatedSwmr : public detail::HandlerBase {
+ public:
+  EmulatedSwmr(Network& net, int reg_id, int n, int f,
+               runtime::ProcessId owner, T initial, std::string name,
+               runtime::ProcessId sole_reader = runtime::kNoProcess)
+      : net_(&net),
+        reg_id_(reg_id),
+        n_(n),
+        f_(f),
+        owner_(owner),
+        sole_reader_(sole_reader),
+        name_(std::move(name)),
+        initial_(initial),
+        owner_view_(std::move(initial)) {
+    state_.resize(static_cast<std::size_t>(n_) + 1);
+    for (int pid = 0; pid <= n_; ++pid) {
+      state_[static_cast<std::size_t>(pid)].stored_sn = 0;
+      state_[static_cast<std::size_t>(pid)].stored_val = initial_;
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  runtime::ProcessId owner() const { return owner_; }
+
+  // ------------------------------------------------------------- client
+
+  // Write by the owner: completes after n−f ACKs.
+  void write(T v) {
+    require_owner("write");
+    std::unique_lock lock(mu_);
+    owner_view_ = v;
+    const std::uint64_t sn = ++write_sn_;
+    lock.unlock();
+    Message m;
+    m.reg = reg_id_;
+    m.type = "WRITE";
+    m.sn = sn;
+    m.payload = v;
+    net_->broadcast(m);
+    lock.lock();
+    cv_.wait(lock, [&] {
+      return static_cast<int>(acks_[sn].size()) >= n_ - f_;
+    });
+    acks_.erase(sn);
+  }
+
+  // Owner read-modify-write (single-writer, so the owner's local view IS
+  // the register's last written value).
+  template <typename F>
+  T update(F&& fn) {
+    require_owner("update");
+    std::unique_lock lock(mu_);
+    T next = owner_view_;
+    fn(next);
+    const bool changed = !(next == owner_view_);
+    lock.unlock();
+    if (changed) write(next);
+    return next;
+  }
+
+  // Read by any process (or the sole reader, for SWSR use).
+  T read() {
+    const runtime::ProcessId self = runtime::ThisProcess::id();
+    if (sole_reader_ != runtime::kNoProcess && self != sole_reader_ &&
+        self != owner_) {
+      throw registers::PortViolation("read of emulated SWSR '" + name_ +
+                                     "' by p" + std::to_string(self));
+    }
+    if (self == owner_) {
+      // The single writer's latest write is trivially the current value.
+      std::scoped_lock lock(mu_);
+      return owner_view_;
+    }
+    for (;;) {
+      std::uint64_t rid;
+      {
+        std::scoped_lock lock(mu_);
+        rid = ++read_rid_;
+        reads_[rid];  // create wait slot
+      }
+      Message m;
+      m.reg = reg_id_;
+      m.type = "READ";
+      m.sn = rid;
+      net_->broadcast(m);
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return static_cast<int>(reads_[rid].senders.size()) >= n_ - f_;
+      });
+      // Highest pair reported identically by n−f distinct processes.
+      std::optional<T> result;
+      std::uint64_t best_sn = 0;
+      bool found = false;
+      for (const auto& [key, support] : reads_[rid].support) {
+        if (static_cast<int>(support.size()) >= n_ - f_ &&
+            (!found || key.first > best_sn)) {
+          best_sn = key.first;
+          result = values_.at(key.second);
+          found = true;
+        }
+      }
+      reads_.erase(rid);
+      if (found) return *result;
+      // No quorum-supported pair among these replies (stores still
+      // converging): retry with a fresh request.
+      lock.unlock();
+      std::this_thread::yield();
+    }
+  }
+
+  // ------------------------------------------------------------- server
+
+  void handle(const Message& m) override {
+    const runtime::ProcessId self = runtime::ThisProcess::id();
+    if (m.type == "WRITE") {
+      if (m.from != owner_) return;  // only the owner's writes count
+      on_write(self, m);
+    } else if (m.type == "ECHO") {
+      on_echo(self, m);
+    } else if (m.type == "ACCEPT") {
+      on_accept(self, m);
+    } else if (m.type == "ACK") {
+      if (self != owner_) return;
+      std::scoped_lock lock(mu_);
+      acks_[m.sn].insert(m.from);
+      cv_.notify_all();
+    } else if (m.type == "READ") {
+      on_read(self, m);
+    } else if (m.type == "STATE") {
+      on_state(m);
+    }
+  }
+
+ private:
+  struct Candidate {
+    int value_id = 0;
+    std::set<int> echoes;
+    std::set<int> accepts;
+    bool sent_accept = false;
+    bool delivered = false;
+  };
+  struct ServerState {
+    std::uint64_t stored_sn = 0;
+    T stored_val{};
+    std::set<std::uint64_t> echoed;  // echo-once-per-sn
+    // per sn: candidate values (usually 1; >1 only under equivocation)
+    std::map<std::uint64_t, std::vector<Candidate>> cands;
+  };
+  struct ReadWait {
+    std::set<int> senders;
+    // (sn, value_id) -> supporting processes
+    std::map<std::pair<std::uint64_t, int>, std::set<int>> support;
+  };
+
+  void require_owner(const char* op) const {
+    if (runtime::ThisProcess::id() != owner_)
+      throw registers::PortViolation(std::string(op) + " on emulated '" +
+                                     name_ + "' by non-owner p" +
+                                     std::to_string(runtime::ThisProcess::id()));
+  }
+
+  // Interns a value, returning a stable id (values are only ever compared
+  // for equality; ids keep the maps cheap and hashable-free).
+  int intern(const T& v) {
+    for (std::size_t i = 0; i < values_.size(); ++i)
+      if (values_[i] == v) return static_cast<int>(i);
+    values_.push_back(v);
+    return static_cast<int>(values_.size()) - 1;
+  }
+
+  Candidate& candidate(ServerState& st, std::uint64_t sn, int value_id) {
+    for (Candidate& c : st.cands[sn])
+      if (c.value_id == value_id) return c;
+    st.cands[sn].push_back(Candidate{value_id, {}, {}, false, false});
+    return st.cands[sn].back();
+  }
+
+  void on_write(int self, const Message& m) {
+    std::unique_lock lock(mu_);
+    ServerState& st = state_[static_cast<std::size_t>(self)];
+    if (st.echoed.contains(m.sn)) return;  // echo at most once per sn
+    st.echoed.insert(m.sn);
+    const int vid = intern(std::any_cast<const T&>(m.payload));
+    lock.unlock();
+    Message echo;
+    echo.reg = reg_id_;
+    echo.type = "ECHO";
+    echo.sn = m.sn;
+    echo.payload = values_snapshot(vid);
+    net_->broadcast(echo);
+  }
+
+  void on_echo(int self, const Message& m) {
+    std::unique_lock lock(mu_);
+    ServerState& st = state_[static_cast<std::size_t>(self)];
+    const int vid = intern(std::any_cast<const T&>(m.payload));
+    Candidate& c = candidate(st, m.sn, vid);
+    c.echoes.insert(m.from);
+    progress(self, st, m.sn, c, lock);
+  }
+
+  void on_accept(int self, const Message& m) {
+    std::unique_lock lock(mu_);
+    ServerState& st = state_[static_cast<std::size_t>(self)];
+    const int vid = intern(std::any_cast<const T&>(m.payload));
+    Candidate& c = candidate(st, m.sn, vid);
+    c.accepts.insert(m.from);
+    progress(self, st, m.sn, c, lock);
+  }
+
+  // Evaluates the Bracha ladder for one candidate. Called under mu_; may
+  // temporarily release it to send messages.
+  void progress(int /*self*/, ServerState& st, std::uint64_t sn,
+                Candidate& c, std::unique_lock<std::mutex>& lock) {
+    const int vid = c.value_id;
+    bool send_accept = false;
+    bool deliver = false;
+    if (!c.sent_accept && (static_cast<int>(c.echoes.size()) >= n_ - f_ ||
+                           static_cast<int>(c.accepts.size()) >= f_ + 1)) {
+      c.sent_accept = true;
+      send_accept = true;
+    }
+    if (!c.delivered && static_cast<int>(c.accepts.size()) >= n_ - f_) {
+      c.delivered = true;
+      deliver = true;
+      if (sn > st.stored_sn) {
+        st.stored_sn = sn;
+        st.stored_val = values_[static_cast<std::size_t>(vid)];
+      }
+    }
+    lock.unlock();
+    if (send_accept) {
+      Message acc;
+      acc.reg = reg_id_;
+      acc.type = "ACCEPT";
+      acc.sn = sn;
+      acc.payload = values_snapshot(vid);
+      net_->broadcast(acc);
+    }
+    if (deliver) {
+      Message ack;
+      ack.reg = reg_id_;
+      ack.type = "ACK";
+      ack.sn = sn;
+      ack.to = owner_;
+      net_->send(ack);
+    }
+    lock.lock();
+  }
+
+  void on_read(int self, const Message& m) {
+    Message reply;
+    reply.reg = reg_id_;
+    reply.type = "STATE";
+    reply.sn = m.sn;  // rid
+    reply.to = m.from;
+    {
+      std::scoped_lock lock(mu_);
+      const ServerState& st = state_[static_cast<std::size_t>(self)];
+      reply.payload = std::pair<std::uint64_t, T>(st.stored_sn, st.stored_val);
+    }
+    net_->send(reply);
+  }
+
+  void on_state(const Message& m) {
+    std::scoped_lock lock(mu_);
+    auto it = reads_.find(m.sn);
+    if (it == reads_.end()) return;  // reply to a finished/foreign read
+    const auto& [sn, val] = std::any_cast<const std::pair<std::uint64_t, T>&>(
+        m.payload);
+    if (!it->second.senders.insert(m.from).second) return;  // dup sender
+    it->second.support[{sn, intern(val)}].insert(m.from);
+    cv_.notify_all();
+  }
+
+  T values_snapshot(int vid) {
+    std::scoped_lock lock(mu_);
+    return values_[static_cast<std::size_t>(vid)];
+  }
+
+  Network* net_;
+  int reg_id_;
+  int n_;
+  int f_;
+  runtime::ProcessId owner_;
+  runtime::ProcessId sole_reader_;  // kNoProcess = SWMR
+  std::string name_;
+  T initial_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> values_;                  // interned values
+  std::vector<ServerState> state_;         // per process
+  std::uint64_t write_sn_ = 0;             // owner-local
+  T owner_view_;                           // owner-local latest value
+  std::map<std::uint64_t, std::set<int>> acks_;  // per write sn
+  std::uint64_t read_rid_ = 0;
+  std::map<std::uint64_t, ReadWait> reads_;
+};
+
+// SWSR flavor: same protocol, read restricted to one process.
+template <typename T>
+class EmulatedSwsr : public EmulatedSwmr<T> {
+ public:
+  using EmulatedSwmr<T>::EmulatedSwmr;
+};
+
+// Factory + server threads. API-compatible with registers::Space for the
+// operations the core algorithms use, so Algorithms 1–3 run unchanged on
+// top of message passing (see core/* template parameter SpaceT).
+class EmulatedSpace {
+ public:
+  template <typename T>
+  using SwmrFor = EmulatedSwmr<T>;
+  template <typename T>
+  using SwsrFor = EmulatedSwsr<T>;
+
+  struct Options {
+    int n = 4;
+    int f = 1;
+    std::uint64_t reorder_seed = 0;
+  };
+
+  explicit EmulatedSpace(Options options)
+      : options_(options), net_(Network::Options{options.n,
+                                                 options.reorder_seed}) {
+    for (int pid = 1; pid <= options_.n; ++pid) {
+      servers_.emplace_back([this, pid](std::stop_token st) {
+        runtime::ThisProcess::Binder bind(pid);
+        while (!st.stop_requested()) {
+          auto m = net_.recv(st);
+          if (!m) continue;
+          detail::HandlerBase* handler = nullptr;
+          {
+            std::scoped_lock lock(mu_);
+            if (m->reg >= 0 &&
+                m->reg < static_cast<int>(registry_.size()))
+              handler = registry_[static_cast<std::size_t>(m->reg)].get();
+          }
+          if (handler) {
+            try {
+              handler->handle(*m);
+            } catch (const std::bad_any_cast&) {
+              // Malformed payload from a Byzantine sender: drop it, exactly
+              // as a deserialization failure would be dropped in a real
+              // system.
+            }
+          }
+        }
+      });
+    }
+  }
+
+  ~EmulatedSpace() { stop(); }
+
+  void stop() {
+    for (auto& t : servers_) t.request_stop();
+    servers_.clear();
+  }
+
+  template <typename T>
+  EmulatedSwmr<T>& make_swmr(runtime::ProcessId owner, T initial,
+                             std::string name) {
+    std::scoped_lock lock(mu_);
+    const int id = static_cast<int>(registry_.size());
+    auto reg = std::make_unique<EmulatedSwmr<T>>(
+        net_, id, options_.n, options_.f, owner, std::move(initial),
+        std::move(name));
+    auto& ref = *reg;
+    registry_.push_back(std::move(reg));
+    return ref;
+  }
+
+  template <typename T>
+  EmulatedSwsr<T>& make_swsr(runtime::ProcessId owner,
+                             runtime::ProcessId reader, T initial,
+                             std::string name) {
+    std::scoped_lock lock(mu_);
+    const int id = static_cast<int>(registry_.size());
+    auto reg = std::make_unique<EmulatedSwsr<T>>(
+        net_, id, options_.n, options_.f, owner, std::move(initial),
+        std::move(name), reader);
+    auto& ref = *reg;
+    registry_.push_back(std::move(reg));
+    return ref;
+  }
+
+  Network& network() { return net_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Network net_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<detail::HandlerBase>> registry_;
+  std::vector<std::jthread> servers_;
+};
+
+}  // namespace swsig::msgpass

@@ -1,0 +1,28 @@
+// Message type for the simulated asynchronous network.
+//
+// Payloads are std::any holding the typed value of whichever protocol sent
+// them (this is an in-process simulation; the network does not interpret
+// payloads). Channels are authenticated: `from` is stamped by the network
+// from the sender's bound ProcessId, so a Byzantine process can send
+// arbitrary CONTENT but cannot spoof its identity — the standard Byzantine
+// message-passing model ([11], [13]).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+#include "runtime/process.hpp"
+
+namespace swsig::msgpass {
+
+struct Message {
+  runtime::ProcessId from = runtime::kNoProcess;  // stamped by Network::send
+  runtime::ProcessId to = runtime::kNoProcess;
+  int reg = 0;           // register/protocol instance id (dispatch key)
+  std::string type;      // "WRITE", "ECHO", "ACCEPT", "ACK", "READ", ...
+  std::uint64_t sn = 0;  // sequence number / read id
+  std::any payload;      // typed value, interpreted by the endpoint
+};
+
+}  // namespace swsig::msgpass

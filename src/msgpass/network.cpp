@@ -1,0 +1,79 @@
+#include "msgpass/network.hpp"
+
+#include <stdexcept>
+
+namespace swsig::msgpass {
+
+Network::Network(Options options) : options_(options) {
+  if (options_.n < 1) throw std::invalid_argument("network needs n >= 1");
+  inboxes_.reserve(static_cast<std::size_t>(options_.n) + 1);
+  for (int pid = 0; pid <= options_.n; ++pid) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+    if (options_.reorder_seed != 0)
+      inboxes_.back()->rng =
+          util::Rng(options_.reorder_seed + static_cast<std::uint64_t>(pid));
+  }
+}
+
+Network::Inbox& Network::inbox_for(runtime::ProcessId pid) {
+  if (pid < 1 || pid > options_.n)
+    throw std::invalid_argument("no inbox for p" + std::to_string(pid));
+  return *inboxes_[static_cast<std::size_t>(pid)];
+}
+
+void Network::send(Message m) {
+  const runtime::ProcessId self = runtime::ThisProcess::id();
+  if (self < 1 || self > options_.n)
+    throw std::logic_error("send requires a thread bound to p1..pn");
+  m.from = self;  // authenticated channel: identity cannot be spoofed
+  deliver(std::move(m));
+}
+
+void Network::broadcast(Message m) {
+  for (int pid = 1; pid <= options_.n; ++pid) {
+    Message copy = m;
+    copy.to = pid;
+    send(std::move(copy));
+  }
+}
+
+void Network::deliver(Message m) {
+  Inbox& inbox = inbox_for(m.to);
+  {
+    std::scoped_lock lock(inbox.mu);
+    inbox.queue.push_back(std::move(m));
+  }
+  inbox.cv.notify_all();
+  sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<Message> Network::recv(std::stop_token st) {
+  Inbox& inbox = inbox_for(runtime::ThisProcess::id());
+  std::unique_lock lock(inbox.mu);
+  while (inbox.queue.empty()) {
+    if (st.stop_requested()) return std::nullopt;
+    inbox.cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  std::size_t index = 0;
+  if (options_.reorder_seed != 0 && inbox.queue.size() > 1)
+    index = static_cast<std::size_t>(
+        inbox.rng.uniform(0, inbox.queue.size() - 1));
+  Message m = std::move(inbox.queue[index]);
+  inbox.queue.erase(inbox.queue.begin() + static_cast<std::ptrdiff_t>(index));
+  return m;
+}
+
+std::optional<Message> Network::try_recv() {
+  Inbox& inbox = inbox_for(runtime::ThisProcess::id());
+  std::scoped_lock lock(inbox.mu);
+  if (inbox.queue.empty()) return std::nullopt;
+  Message m = std::move(inbox.queue.front());
+  inbox.queue.pop_front();
+  return m;
+}
+
+std::uint64_t Network::messages_sent() const {
+  return sent_.load(std::memory_order_relaxed);
+}
+
+}  // namespace swsig::msgpass

@@ -1,0 +1,71 @@
+// Simulated asynchronous reliable network.
+//
+// Reliable, authenticated, point-to-point channels between n processes:
+// messages between correct processes are eventually delivered, unordered
+// delivery is modeled by thread scheduling (and an optional seeded
+// reordering of each inbox). There is no synchrony assumption anywhere —
+// receivers block until something arrives.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <vector>
+
+#include "msgpass/message.hpp"
+#include "runtime/process.hpp"
+#include "util/rng.hpp"
+
+namespace swsig::msgpass {
+
+class Network {
+ public:
+  struct Options {
+    int n = 4;
+    // If > 0, each delivery picks a random queued message instead of the
+    // oldest, modeling out-of-order asynchrony (seeded => reproducible).
+    std::uint64_t reorder_seed = 0;
+  };
+
+  explicit Network(Options options);
+
+  // Sends m to m.to; the sender identity is stamped from the calling
+  // thread's bound process (authenticated channels).
+  void send(Message m);
+
+  // Sends m to every process 1..n, including the sender itself (protocol
+  // symmetry: the sender is also a server).
+  void broadcast(Message m);
+
+  // Blocking receive for the bound process. Returns nullopt on stop.
+  std::optional<Message> recv(std::stop_token st);
+
+  // Non-blocking receive.
+  std::optional<Message> try_recv();
+
+  std::uint64_t messages_sent() const;
+  int n() const { return options_.n; }
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    util::Rng rng{0};
+  };
+
+  Inbox& inbox_for(runtime::ProcessId pid);
+  void deliver(Message m);
+
+  Options options_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;  // index by pid
+  std::atomic<std::uint64_t> sent_{0};
+};
+
+}  // namespace swsig::msgpass

@@ -1,0 +1,189 @@
+// Witness-based ("authenticated") broadcast in message passing, in the
+// style of Srikanth–Toueg [13] / Bracha: INIT → ECHO → READY with
+// (n−f, f+1, n−f) thresholds, n > 3f, no signatures.
+//
+// This is the related-work baseline the paper contrasts against (§2):
+// delivery here is only *eventual* — there is no operation a process can
+// invoke that returns "not delivered" consistently across processes — which
+// is exactly why simulating it in shared memory does not yield the
+// linearizable Verify of the paper's registers. Benchmark T7 compares it
+// against the register-based reliable broadcast objects.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stop_token>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msgpass/network.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::msgpass {
+
+// One instance serves the whole system: any process may broadcast any
+// number of sequenced messages; every correct process eventually delivers
+// each broadcast message of a correct sender, and no two correct processes
+// deliver different values for the same (sender, seq) — non-equivocation
+// via the echo quorum.
+class WitnessBroadcast {
+ public:
+  struct Options {
+    int n = 4;
+    int f = 1;
+  };
+
+  WitnessBroadcast(Options options, std::uint64_t reorder_seed = 0)
+      : options_(options),
+        net_(Network::Options{options.n, reorder_seed}) {
+    state_.resize(static_cast<std::size_t>(options_.n) + 1);
+    for (int pid = 1; pid <= options_.n; ++pid) {
+      servers_.emplace_back([this, pid](std::stop_token st) {
+        runtime::ThisProcess::Binder bind(pid);
+        while (!st.stop_requested()) {
+          auto m = net_.recv(st);
+          if (m) handle(pid, *m);
+        }
+      });
+    }
+  }
+
+  ~WitnessBroadcast() { stop(); }
+
+  void stop() {
+    for (auto& t : servers_) t.request_stop();
+    servers_.clear();
+  }
+
+  // Broadcast `value` under the caller's (bound) identity with sequence
+  // number `seq`. Returns immediately — delivery is eventual.
+  void broadcast(std::uint64_t seq, std::uint64_t value) {
+    Message m;
+    m.type = "INIT";
+    m.sn = seq;
+    m.payload = value;
+    net_.broadcast(m);
+  }
+
+  // Blocks until the bound process delivers (sender, seq); returns the
+  // delivered value.
+  std::uint64_t await_delivery(runtime::ProcessId sender, std::uint64_t seq) {
+    const int self = runtime::ThisProcess::id();
+    std::unique_lock lock(mu_);
+    auto& slot = state_[static_cast<std::size_t>(self)].delivered;
+    cv_.wait(lock, [&] { return slot.contains({sender, seq}); });
+    return slot.at({sender, seq});
+  }
+
+  // Non-blocking query.
+  std::optional<std::uint64_t> delivered(runtime::ProcessId pid,
+                                         runtime::ProcessId sender,
+                                         std::uint64_t seq) const {
+    std::scoped_lock lock(mu_);
+    const auto& slot = state_[static_cast<std::size_t>(pid)].delivered;
+    const auto it = slot.find({sender, seq});
+    if (it == slot.end()) return std::nullopt;
+    return it->second;
+  }
+
+  Network& network() { return net_; }
+
+ private:
+  // Per (sender, seq, value): who echoed / readied.
+  struct Tally {
+    std::set<int> echoes;
+    std::set<int> readies;
+    bool sent_echo = false;
+    bool sent_ready = false;
+  };
+  struct PerProcess {
+    // (sender, seq) -> value -> tally
+    std::map<std::pair<int, std::uint64_t>, std::map<std::uint64_t, Tally>>
+        tallies;
+    std::map<std::pair<int, std::uint64_t>, std::uint64_t> delivered;
+  };
+
+  void handle(int self, const Message& m) {
+    std::uint64_t value = 0;
+    try {
+      value = std::any_cast<std::uint64_t>(m.payload);
+    } catch (const std::bad_any_cast&) {
+      return;  // malformed Byzantine payload
+    }
+    const int n = options_.n;
+    const int f = options_.f;
+
+    std::unique_lock lock(mu_);
+    PerProcess& st = state_[static_cast<std::size_t>(self)];
+
+    std::pair<int, std::uint64_t> key;
+    if (m.type == "INIT") {
+      key = {m.from, m.sn};  // the INIT sender is the broadcast origin
+    } else {
+      // ECHO/READY carry the origin in reg (abused as origin pid field).
+      key = {m.reg, m.sn};
+    }
+    auto& per_value = st.tallies[key];
+    Tally& tally = per_value[value];
+
+    bool send_echo = false;
+    bool send_ready = false;
+    if (m.type == "INIT") {
+      // Echo only the FIRST value seen from this (sender, seq) — the
+      // non-equivocation guard.
+      bool echoed_any = false;
+      for (auto& [v, t] : per_value) echoed_any |= t.sent_echo;
+      if (!echoed_any) {
+        tally.sent_echo = true;
+        send_echo = true;
+      }
+    } else if (m.type == "ECHO") {
+      tally.echoes.insert(m.from);
+      if (!tally.sent_ready &&
+          static_cast<int>(tally.echoes.size()) >= n - f) {
+        tally.sent_ready = true;
+        send_ready = true;
+      }
+    } else if (m.type == "READY") {
+      tally.readies.insert(m.from);
+      if (!tally.sent_ready &&
+          static_cast<int>(tally.readies.size()) >= f + 1) {
+        tally.sent_ready = true;
+        send_ready = true;
+      }
+      if (static_cast<int>(tally.readies.size()) >= n - f &&
+          !st.delivered.contains(key)) {
+        st.delivered[key] = value;
+        cv_.notify_all();
+      }
+    }
+    lock.unlock();
+
+    if (send_echo) relay("ECHO", key, value);
+    if (send_ready) relay("READY", key, value);
+  }
+
+  void relay(const std::string& type,
+             const std::pair<int, std::uint64_t>& key, std::uint64_t value) {
+    Message m;
+    m.type = type;
+    m.reg = key.first;  // origin pid rides in the reg field
+    m.sn = key.second;
+    m.payload = value;
+    net_.broadcast(m);
+  }
+
+  Options options_;
+  Network net_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<PerProcess> state_;
+  std::vector<std::jthread> servers_;
+};
+
+}  // namespace swsig::msgpass

@@ -1,0 +1,19 @@
+// Error types for the register substrate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace swsig::registers {
+
+// Thrown when a thread accesses a register port the model forbids: writing
+// a SWMR register it does not own, or reading a SWSR register as the wrong
+// reader. This is the code-level form of the paper's write-port axiom
+// (§1, Remark): even Byzantine processes cannot cross this line, so the
+// enforcement is part of the substrate, not of any algorithm.
+class PortViolation : public std::logic_error {
+ public:
+  explicit PortViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace swsig::registers

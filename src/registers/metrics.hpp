@@ -1,0 +1,40 @@
+// Access metering for the register substrate. Benchmarks report register
+// operations per implemented-object operation ("steps/op"), which is the
+// machine-independent cost measure for these algorithms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace swsig::registers {
+
+class Metrics {
+ public:
+  void on_read() { reads_.fetch_add(1, std::memory_order_relaxed); }
+  void on_write() { writes_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::uint64_t reads() const {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t writes() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total() const { return reads() + writes(); }
+
+  struct Snapshot {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t total() const { return reads + writes; }
+    Snapshot delta(const Snapshot& earlier) const {
+      return {reads - earlier.reads, writes - earlier.writes};
+    }
+  };
+
+  Snapshot snapshot() const { return {reads(), writes()}; }
+
+ private:
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+};
+
+}  // namespace swsig::registers

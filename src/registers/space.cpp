@@ -1,0 +1,15 @@
+#include "registers/space.hpp"
+
+namespace swsig::registers {
+
+Space::Space(runtime::StepController& controller, Enforcement mode)
+    : controller_(&controller), mode_(mode) {}
+
+Space::~Space() = default;
+
+std::size_t Space::register_count() const {
+  std::scoped_lock lock(mu_);
+  return registry_.size();
+}
+
+}  // namespace swsig::registers

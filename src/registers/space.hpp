@@ -1,0 +1,232 @@
+// Register space: factory and home of all shared registers of one system
+// instance. Routes every access through the StepController (the asynchrony
+// model's preemption points), meters accesses, and enforces port ownership.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "registers/errors.hpp"
+#include "registers/metrics.hpp"
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+
+namespace swsig::registers {
+
+template <typename T>
+class Swmr;
+template <typename T>
+class Swsr;
+
+class Space {
+ public:
+  enum class Enforcement {
+    kEnforcing,   // port violations throw PortViolation
+    kPermissive,  // port checks disabled (micro-benchmarks only)
+  };
+
+  explicit Space(runtime::StepController& controller,
+                 Enforcement mode = Enforcement::kEnforcing);
+  ~Space();
+
+  // Register-type aliases so algorithms can be parameterized over the
+  // register substrate (shared memory here, message-passing emulation in
+  // msgpass::EmulatedSpace).
+  template <typename T>
+  using SwmrFor = Swmr<T>;
+  template <typename T>
+  using SwsrFor = Swsr<T>;
+
+  Space(const Space&) = delete;
+  Space& operator=(const Space&) = delete;
+
+  // Creates a single-writer multi-reader register owned by `owner`.
+  // The returned reference lives as long as the Space.
+  template <typename T>
+  Swmr<T>& make_swmr(runtime::ProcessId owner, T initial, std::string name);
+
+  // Creates a single-writer single-reader register (owner writes, exactly
+  // `reader` may read).
+  template <typename T>
+  Swsr<T>& make_swsr(runtime::ProcessId owner, runtime::ProcessId reader,
+                     T initial, std::string name);
+
+  runtime::StepController& controller() { return *controller_; }
+  Metrics& metrics() { return metrics_; }
+  bool enforcing() const { return mode_ == Enforcement::kEnforcing; }
+
+  // Gate + meter, called by registers on every access.
+  void before_read() {
+    controller_->step();
+    metrics_.on_read();
+  }
+  void before_write() {
+    controller_->step();
+    metrics_.on_write();
+  }
+
+  std::size_t register_count() const;
+
+ private:
+  struct RegisterBase {
+    virtual ~RegisterBase() = default;
+  };
+  template <typename T>
+  struct Holder;
+
+  runtime::StepController* controller_;
+  Enforcement mode_;
+  Metrics metrics_;
+  mutable std::mutex mu_;  // guards registry_ during construction only
+  std::vector<std::unique_ptr<RegisterBase>> registry_;
+};
+
+// ------------------------------------------------------------------- Swmr
+
+// Atomic single-writer multi-reader register. Linearizability comes for
+// free: every access is a single critical section on one mutex, and in
+// deterministic mode accesses are additionally serialized by the step gate.
+template <typename T>
+class Swmr {
+ public:
+  Swmr(Space& space, runtime::ProcessId owner, T initial, std::string name)
+      : space_(&space),
+        owner_(owner),
+        name_(std::move(name)),
+        value_(std::move(initial)) {}
+
+  // Readable by any process.
+  T read() const {
+    space_->before_read();
+    std::scoped_lock lock(mu_);
+    return value_;
+  }
+
+  // Writable only by the owner.
+  void write(T v) {
+    if (space_->enforcing() && runtime::ThisProcess::id() != owner_) {
+      throw PortViolation("write to SWMR '" + name_ + "' owned by p" +
+                          std::to_string(owner_) + " attempted by p" +
+                          std::to_string(runtime::ThisProcess::id()));
+    }
+    space_->before_write();
+    std::scoped_lock lock(mu_);
+    value_ = std::move(v);
+  }
+
+  // Atomic owner read-modify-write: applies `fn` to the stored value as one
+  // linearizable step and returns a copy of the result. In the paper a
+  // process's operation steps and Help() steps are sequential (§3.3), so an
+  // owner read-then-write can never be interleaved by the same process; we
+  // split those onto two threads, and update() restores that per-process
+  // step atomicity (DESIGN.md, faithfulness note 2). Other processes only
+  // ever read this register, so to them update() is indistinguishable from
+  // a plain write.
+  template <typename F>
+  T update(F&& fn) {
+    if (space_->enforcing() && runtime::ThisProcess::id() != owner_) {
+      throw PortViolation("update of SWMR '" + name_ + "' owned by p" +
+                          std::to_string(owner_) + " attempted by p" +
+                          std::to_string(runtime::ThisProcess::id()));
+    }
+    space_->before_write();
+    std::scoped_lock lock(mu_);
+    fn(value_);
+    return value_;
+  }
+
+  runtime::ProcessId owner() const { return owner_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Space* space_;
+  runtime::ProcessId owner_;
+  std::string name_;
+  mutable std::mutex mu_;
+  T value_;
+};
+
+// ------------------------------------------------------------------- Swsr
+
+// Atomic single-writer single-reader register.
+template <typename T>
+class Swsr {
+ public:
+  Swsr(Space& space, runtime::ProcessId owner, runtime::ProcessId reader,
+       T initial, std::string name)
+      : space_(&space),
+        owner_(owner),
+        reader_(reader),
+        name_(std::move(name)),
+        value_(std::move(initial)) {}
+
+  T read() const {
+    if (space_->enforcing() && runtime::ThisProcess::id() != reader_) {
+      throw PortViolation("read of SWSR '" + name_ + "' readable by p" +
+                          std::to_string(reader_) + " attempted by p" +
+                          std::to_string(runtime::ThisProcess::id()));
+    }
+    space_->before_read();
+    std::scoped_lock lock(mu_);
+    return value_;
+  }
+
+  void write(T v) {
+    if (space_->enforcing() && runtime::ThisProcess::id() != owner_) {
+      throw PortViolation("write to SWSR '" + name_ + "' owned by p" +
+                          std::to_string(owner_) + " attempted by p" +
+                          std::to_string(runtime::ThisProcess::id()));
+    }
+    space_->before_write();
+    std::scoped_lock lock(mu_);
+    value_ = std::move(v);
+  }
+
+  runtime::ProcessId owner() const { return owner_; }
+  runtime::ProcessId reader() const { return reader_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Space* space_;
+  runtime::ProcessId owner_;
+  runtime::ProcessId reader_;
+  std::string name_;
+  mutable std::mutex mu_;
+  T value_;
+};
+
+// --------------------------------------------------------------- factories
+
+template <typename T>
+struct Space::Holder : Space::RegisterBase {
+  template <typename... Args>
+  explicit Holder(Args&&... args) : reg(std::forward<Args>(args)...) {}
+  T reg;
+};
+
+template <typename T>
+Swmr<T>& Space::make_swmr(runtime::ProcessId owner, T initial,
+                          std::string name) {
+  std::scoped_lock lock(mu_);
+  auto holder = std::make_unique<Holder<Swmr<T>>>(*this, owner,
+                                                  std::move(initial),
+                                                  std::move(name));
+  auto& reg = holder->reg;
+  registry_.push_back(std::move(holder));
+  return reg;
+}
+
+template <typename T>
+Swsr<T>& Space::make_swsr(runtime::ProcessId owner, runtime::ProcessId reader,
+                          T initial, std::string name) {
+  std::scoped_lock lock(mu_);
+  auto holder = std::make_unique<Holder<Swsr<T>>>(
+      *this, owner, reader, std::move(initial), std::move(name));
+  auto& reg = holder->reg;
+  registry_.push_back(std::move(holder));
+  return reg;
+}
+
+}  // namespace swsig::registers

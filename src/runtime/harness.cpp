@@ -1,0 +1,98 @@
+#include "runtime/harness.hpp"
+
+#include <stdexcept>
+
+namespace swsig::runtime {
+
+Harness::Harness() : Harness(Options{}) {}
+
+Harness::Harness(Options options)
+    : options_(std::move(options)), start_future_(start_promise_.get_future()) {
+  if (options_.deterministic) {
+    if (!options_.policy)
+      options_.policy = std::make_shared<RoundRobinPolicy>();
+    controller_ =
+        std::make_unique<DeterministicStepController>(options_.policy);
+  } else {
+    controller_ = std::make_unique<FreeStepController>();
+  }
+}
+
+Harness::~Harness() {
+  request_stop();
+  if (!started_) {
+    // Threads are parked on the start gate; release them so they can run,
+    // observe the stop token, and exit.
+    start();
+  }
+  try {
+    join();
+  } catch (...) {
+    // A thread body threw and the caller never join()ed explicitly; the
+    // exception cannot escape a destructor. Tests call join() themselves.
+  }
+}
+
+void Harness::spawn(ProcessId pid, std::string role,
+                    std::function<void(std::stop_token)> body) {
+  if (started_) throw std::logic_error("Harness::spawn after start()");
+  auto done = std::make_shared<std::promise<void>>();
+  Entry entry;
+  entry.pid = pid;
+  entry.role = role;
+  entry.done = done;
+  entry.done_future = done->get_future().share();
+  auto start_gate = start_future_;
+  auto stop_token = stop_source_.get_token();
+  const int token = static_cast<int>(entries_.size()) + 1;
+  entry.thread = std::thread([this, pid, role = std::move(role),
+                              body = std::move(body), done, token,
+                              start_gate = std::move(start_gate),
+                              stop_token = std::move(stop_token)]() mutable {
+    start_gate.wait();
+    ThisProcess::Binder bind(pid);
+    controller_->attach(pid, role, token);
+    try {
+      body(stop_token);
+    } catch (...) {
+      controller_->detach();
+      done->set_exception(std::current_exception());
+      return;
+    }
+    controller_->detach();
+    done->set_value();
+  });
+  entries_.push_back(std::move(entry));
+}
+
+void Harness::start() {
+  if (started_) return;
+  started_ = true;
+  if (auto* det = dynamic_cast<DeterministicStepController*>(controller_.get()))
+    det->arm(entries_.size());
+  start_promise_.set_value();
+}
+
+void Harness::join_role(const std::string& role) {
+  if (!started_) throw std::logic_error("Harness::join_role before start()");
+  for (auto& entry : entries_)
+    if (entry.role == role) entry.done_future.wait();
+}
+
+void Harness::join() {
+  if (joined_) return;
+  joined_ = true;
+  for (auto& entry : entries_)
+    if (entry.thread.joinable()) entry.thread.join();
+  // Propagate the first thread exception, if any, to the caller.
+  for (auto& entry : entries_) entry.done_future.get();
+}
+
+std::uint64_t Harness::trace_hash() const {
+  if (auto* det =
+          dynamic_cast<const DeterministicStepController*>(controller_.get()))
+    return det->trace_hash();
+  return 0;
+}
+
+}  // namespace swsig::runtime

@@ -1,0 +1,86 @@
+// Thread-group harness: spawns process-bound threads under a shared
+// StepController and stop source, with clean join/stop semantics.
+//
+// Usage:
+//   Harness h({.deterministic = true, .seed = 7});
+//   h.spawn(1, "op",   [&](std::stop_token) { ... });
+//   h.spawn(1, "help", [&](std::stop_token st) { while (!st.stop_requested()) ... });
+//   h.start();                 // threads begin; deterministic grants start
+//   h.join_role("op");         // wait for all operation threads to finish
+//   h.request_stop();          // helpers observe the stop token and exit
+//   h.join();                  // (also run by the destructor)
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <stop_token>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/process.hpp"
+#include "runtime/schedule_policy.hpp"
+#include "runtime/step_controller.hpp"
+
+namespace swsig::runtime {
+
+class Harness {
+ public:
+  struct Options {
+    bool deterministic = false;
+    std::uint64_t seed = 1;
+    // Policy for deterministic mode; default RoundRobinPolicy. Ignored in
+    // free mode.
+    std::shared_ptr<SchedulePolicy> policy;
+  };
+
+  Harness();
+  explicit Harness(Options options);
+  ~Harness();
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  StepController& controller() { return *controller_; }
+
+  // Must be called before start(). The body runs on a new thread bound to
+  // `pid` and attached to the controller.
+  void spawn(ProcessId pid, std::string role,
+             std::function<void(std::stop_token)> body);
+
+  // Releases all spawned threads (and, in deterministic mode, arms the
+  // controller with the final thread count).
+  void start();
+
+  void request_stop() { stop_source_.request_stop(); }
+
+  // Waits for every thread whose role matches (e.g., all "op" threads).
+  void join_role(const std::string& role);
+
+  // Waits for all threads. Idempotent.
+  void join();
+
+  // Deterministic-mode trace hash (0 in free mode).
+  std::uint64_t trace_hash() const;
+
+ private:
+  struct Entry {
+    ProcessId pid;
+    std::string role;
+    std::thread thread;
+    std::shared_ptr<std::promise<void>> done;
+    std::shared_future<void> done_future;
+  };
+
+  Options options_;
+  std::unique_ptr<StepController> controller_;
+  std::promise<void> start_promise_;
+  std::shared_future<void> start_future_;
+  std::stop_source stop_source_;
+  std::vector<Entry> entries_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace swsig::runtime

@@ -1,0 +1,45 @@
+// Process identity.
+//
+// The paper's model (§3) has n asynchronous processes p1..pn. We model a
+// process as one or more OS threads bound to a `ProcessId` (an operation
+// thread plus a background Help() thread, both acting as the same process).
+// The binding is thread-local and RAII-scoped; the register layer uses it to
+// enforce the model's key axiom that "no process, even a Byzantine one, can
+// access the write port of a SWMR register it does not own" (§1, Remark).
+#pragma once
+
+#include <cassert>
+
+namespace swsig::runtime {
+
+// 1-based like the paper (p1 is the writer in all three algorithms).
+using ProcessId = int;
+
+inline constexpr ProcessId kNoProcess = 0;
+
+namespace detail {
+inline thread_local ProcessId tls_process_id = kNoProcess;
+}  // namespace detail
+
+class ThisProcess {
+ public:
+  // Identity of the process the calling thread is acting as (kNoProcess if
+  // the thread is unbound, e.g., a test driver doing setup).
+  static ProcessId id() { return detail::tls_process_id; }
+
+  // RAII binder: while alive, the current thread acts as `pid`.
+  class Binder {
+   public:
+    explicit Binder(ProcessId pid) : previous_(detail::tls_process_id) {
+      detail::tls_process_id = pid;
+    }
+    ~Binder() { detail::tls_process_id = previous_; }
+    Binder(const Binder&) = delete;
+    Binder& operator=(const Binder&) = delete;
+
+   private:
+    ProcessId previous_;
+  };
+};
+
+}  // namespace swsig::runtime

@@ -1,0 +1,73 @@
+#include "runtime/schedule_policy.hpp"
+
+#include <algorithm>
+
+namespace swsig::runtime {
+
+std::size_t RoundRobinPolicy::choose(const std::vector<ThreadInfo>& waiting,
+                                     std::uint64_t /*step_no*/) {
+  // Pick the first waiting token strictly greater than the last one granted,
+  // wrapping around; gives a fair cyclic order even as threads come and go.
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    if (waiting[i].token > last_token_) {
+      best = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) best = 0;  // wrap
+  last_token_ = waiting[best].token;
+  return best;
+}
+
+std::size_t RandomPolicy::choose(const std::vector<ThreadInfo>& waiting,
+                                 std::uint64_t /*step_no*/) {
+  return static_cast<std::size_t>(rng_.uniform(0, waiting.size() - 1));
+}
+
+GatedPolicy::GatedPolicy(std::shared_ptr<SchedulePolicy> inner,
+                         std::set<ProcessId> enabled)
+    : inner_(std::move(inner)), enabled_(std::move(enabled)) {}
+
+std::size_t GatedPolicy::choose(const std::vector<ThreadInfo>& waiting,
+                                std::uint64_t step_no) {
+  std::scoped_lock lock(mu_);
+  std::vector<ThreadInfo> eligible;
+  std::vector<std::size_t> back_map;
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    if (enabled_.contains(waiting[i].pid)) {
+      eligible.push_back(waiting[i]);
+      back_map.push_back(i);
+    }
+  }
+  if (eligible.empty()) {
+    ++fallback_grants_;
+    return inner_->choose(waiting, step_no);
+  }
+  const std::size_t idx = inner_->choose(eligible, step_no);
+  return back_map[idx];
+}
+
+void GatedPolicy::enable(ProcessId pid) {
+  std::scoped_lock lock(mu_);
+  enabled_.insert(pid);
+}
+
+void GatedPolicy::disable(ProcessId pid) {
+  std::scoped_lock lock(mu_);
+  enabled_.erase(pid);
+}
+
+void GatedPolicy::set_enabled(std::set<ProcessId> enabled) {
+  std::scoped_lock lock(mu_);
+  enabled_ = std::move(enabled);
+}
+
+std::uint64_t GatedPolicy::fallback_grants() const {
+  std::scoped_lock lock(mu_);
+  return fallback_grants_;
+}
+
+}  // namespace swsig::runtime

@@ -1,0 +1,72 @@
+// Scheduling policies for DeterministicStepController.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+#include "util/rng.hpp"
+
+namespace swsig::runtime {
+
+// Chooses, among the threads currently parked at a gate, which one runs
+// next. `waiting` is sorted by token (stable across runs); the return value
+// is an index into `waiting`. Called under the controller's mutex.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  virtual std::size_t choose(const std::vector<ThreadInfo>& waiting,
+                             std::uint64_t step_no) = 0;
+};
+
+// Cycles through threads by token.
+class RoundRobinPolicy final : public SchedulePolicy {
+ public:
+  std::size_t choose(const std::vector<ThreadInfo>& waiting,
+                     std::uint64_t step_no) override;
+
+ private:
+  int last_token_ = -1;
+};
+
+// Uniformly random thread each step (seeded => reproducible).
+class RandomPolicy final : public SchedulePolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::size_t choose(const std::vector<ThreadInfo>& waiting,
+                     std::uint64_t step_no) override;
+
+ private:
+  util::Rng rng_;
+};
+
+// Restricts scheduling to an "enabled" set of processes; used to model the
+// paper's proof schedules where some processes are asleep (take no steps,
+// Fig. 1). Falls back to the full waiting set if no enabled thread is
+// waiting, so a misconfigured script cannot deadlock the run; the fallback
+// count is exposed so tests can assert it stayed at zero.
+class GatedPolicy final : public SchedulePolicy {
+ public:
+  GatedPolicy(std::shared_ptr<SchedulePolicy> inner,
+              std::set<ProcessId> enabled);
+
+  std::size_t choose(const std::vector<ThreadInfo>& waiting,
+                     std::uint64_t step_no) override;
+
+  void enable(ProcessId pid);
+  void disable(ProcessId pid);
+  void set_enabled(std::set<ProcessId> enabled);
+  std::uint64_t fallback_grants() const;
+
+ private:
+  std::shared_ptr<SchedulePolicy> inner_;
+  mutable std::mutex mu_;
+  std::set<ProcessId> enabled_;
+  std::uint64_t fallback_grants_ = 0;
+};
+
+}  // namespace swsig::runtime

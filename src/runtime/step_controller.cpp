@@ -1,0 +1,130 @@
+#include "runtime/step_controller.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "runtime/schedule_policy.hpp"
+
+namespace swsig::runtime {
+
+namespace {
+
+// Which controller the current thread is attached to, and under which token.
+// A thread interacts with at most one controller at a time (asserted).
+thread_local const void* tls_controller = nullptr;
+thread_local int tls_token = 0;
+
+}  // namespace
+
+// ---------------------------------------------------------------- Free mode
+
+int FreeStepController::attach(ProcessId /*pid*/, std::string /*role*/,
+                               int preferred_token) {
+  if (preferred_token >= 1) return preferred_token;
+  return next_token_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FreeStepController::detach() {}
+
+void FreeStepController::step() {
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t FreeStepController::steps() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- Deterministic mode
+
+DeterministicStepController::DeterministicStepController(
+    std::shared_ptr<SchedulePolicy> policy)
+    : policy_(std::move(policy)) {
+  if (!policy_)
+    throw std::invalid_argument("DeterministicStepController: null policy");
+}
+
+DeterministicStepController::~DeterministicStepController() = default;
+
+void DeterministicStepController::arm(std::size_t expected_threads) {
+  std::unique_lock lock(mu_);
+  armed_ = true;
+  expected_threads_ = expected_threads;
+  if (attached_.size() >= expected_threads_) started_ = true;
+  maybe_grant(lock);
+}
+
+int DeterministicStepController::attach(ProcessId pid, std::string role,
+                                        int preferred_token) {
+  std::unique_lock lock(mu_);
+  assert(tls_controller == nullptr &&
+         "thread already attached to a controller");
+  const int token =
+      preferred_token >= 1 ? preferred_token : next_token_++;
+  assert(!attached_.contains(token) && "duplicate token");
+  attached_.emplace(token, ThreadInfo{token, pid, std::move(role)});
+  tls_controller = this;
+  tls_token = token;
+  if (armed_ && !started_ && attached_.size() >= expected_threads_)
+    started_ = true;
+  maybe_grant(lock);
+  return token;
+}
+
+void DeterministicStepController::detach() {
+  std::unique_lock lock(mu_);
+  assert(tls_controller == this && "detach from a controller never attached");
+  attached_.erase(tls_token);
+  waiting_.erase(tls_token);
+  tls_controller = nullptr;
+  tls_token = 0;
+  maybe_grant(lock);
+}
+
+void DeterministicStepController::step() {
+  std::unique_lock lock(mu_);
+  assert(tls_controller == this && "step on a controller never attached");
+  const int token = tls_token;
+  waiting_.emplace(token, attached_.at(token));
+  maybe_grant(lock);
+  cv_.wait(lock, [&] { return granted_ == token; });
+  granted_ = -1;
+  waiting_.erase(token);
+}
+
+std::uint64_t DeterministicStepController::steps() const {
+  std::unique_lock lock(mu_);
+  return step_count_;
+}
+
+std::uint64_t DeterministicStepController::trace_hash() const {
+  std::unique_lock lock(mu_);
+  return trace_hash_;
+}
+
+void DeterministicStepController::maybe_grant(
+    std::unique_lock<std::mutex>& /*lock*/) {
+  if (!started_ || granted_ != -1 || waiting_.empty()) return;
+  if (waiting_.size() != attached_.size()) return;  // someone still running
+
+  std::vector<ThreadInfo> snapshot;
+  snapshot.reserve(waiting_.size());
+  for (const auto& [token, info] : waiting_) snapshot.push_back(info);
+
+  const std::size_t index = policy_->choose(snapshot, step_count_);
+  assert(index < snapshot.size() && "policy returned out-of-range index");
+  const ThreadInfo& chosen = snapshot[index];
+  granted_ = chosen.token;
+  ++step_count_;
+
+  // FNV-1a over (token, pid) pairs.
+  auto mix = [this](std::uint64_t v) {
+    trace_hash_ ^= v;
+    trace_hash_ *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(chosen.token));
+  mix(static_cast<std::uint64_t>(chosen.pid));
+
+  cv_.notify_all();
+}
+
+}  // namespace swsig::runtime

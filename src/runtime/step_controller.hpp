@@ -1,0 +1,116 @@
+// Asynchrony model: preemption points ("steps").
+//
+// Every shared-register access passes through StepController::step(). Two
+// implementations give the two execution modes of the library:
+//
+//  * FreeStepController        — steps are free; threads run truly
+//                                concurrently (benchmarks, stress tests).
+//  * DeterministicStepController — exactly one attached thread proceeds at a
+//                                time, chosen by a SchedulePolicy. A run is a
+//                                pure function of (program, policy, seed), so
+//                                interleavings are replayable; proof-style
+//                                schedules (e.g., Fig. 1 of the paper) can be
+//                                scripted with GatedPolicy.
+//
+// The deterministic controller grants a step only when every attached thread
+// is parked at a gate ("quiescence"), which serializes execution without any
+// dispatcher thread: the grant logic runs inside attach/detach/step of the
+// participating threads themselves. Threads must therefore only block at
+// gates (true for all algorithms in this library: busy-wait loops re-read
+// registers, and every register access gates).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/process.hpp"
+
+namespace swsig::runtime {
+
+struct ThreadInfo {
+  int token = 0;
+  ProcessId pid = kNoProcess;
+  std::string role;  // "op", "help", "byz", ... (free-form, for policies)
+};
+
+class SchedulePolicy;
+
+class StepController {
+ public:
+  virtual ~StepController() = default;
+
+  // A thread announces itself before taking steps. Returns its token.
+  // `preferred_token` (>= 1) fixes the token explicitly — the Harness
+  // assigns tokens in spawn order so that deterministic schedules do not
+  // depend on the racy order in which threads start up.
+  virtual int attach(ProcessId pid, std::string role,
+                     int preferred_token = -1) = 0;
+  // A thread announces it will take no more steps.
+  virtual void detach() = 0;
+  // Preemption point. May block (deterministic mode) until granted.
+  virtual void step() = 0;
+  // Total steps granted/taken so far.
+  virtual std::uint64_t steps() const = 0;
+};
+
+// Real concurrency; step() only counts.
+class FreeStepController final : public StepController {
+ public:
+  int attach(ProcessId pid, std::string role,
+             int preferred_token = -1) override;
+  void detach() override;
+  void step() override;
+  std::uint64_t steps() const override;
+
+ private:
+  std::atomic<int> next_token_{1};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// Serialized, policy-driven interleaving.
+class DeterministicStepController final : public StepController {
+ public:
+  // No step is granted until arm() fixes the expected thread count and that
+  // many threads have attached, making the initial grant independent of
+  // thread start-up races.
+  explicit DeterministicStepController(std::shared_ptr<SchedulePolicy> policy);
+  ~DeterministicStepController() override;
+
+  // Fixes the number of threads that must attach before scheduling begins.
+  void arm(std::size_t expected_threads);
+
+  int attach(ProcessId pid, std::string role,
+             int preferred_token = -1) override;
+  void detach() override;
+  void step() override;
+  std::uint64_t steps() const override;
+
+  // FNV-1a hash of the granted (token, pid) sequence; equal seeds must give
+  // equal hashes (tested), which is the determinism guarantee.
+  std::uint64_t trace_hash() const;
+
+ private:
+  void maybe_grant(std::unique_lock<std::mutex>& lock);
+
+  std::shared_ptr<SchedulePolicy> policy_;
+  bool armed_ = false;
+  std::size_t expected_threads_ = 0;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int next_token_ = 1;
+  std::map<int, ThreadInfo> attached_;  // token -> info (ordered => stable)
+  std::map<int, ThreadInfo> waiting_;   // subset of attached_
+  int granted_ = -1;                    // token currently allowed to run
+  std::uint64_t step_count_ = 0;
+  std::uint64_t trace_hash_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+}  // namespace swsig::runtime

@@ -1,0 +1,137 @@
+// Asset transfer object (Cohen–Keidar [5]) on top of reliable broadcast.
+//
+// Each process owns one account with an initial balance. A transfer debits
+// the caller's account and credits another; it is *applied* only when the
+// sender's balance (computed from previously applied transfers) covers it,
+// and transfers of one owner apply strictly in sequence order. The paper's
+// motivation shows up directly: because the broadcast layer is
+// non-equivocating (sticky registers — or signed certificates in the
+// baseline), a Byzantine owner cannot publish two conflicting transfers
+// with the same sequence number, which is exactly the double-spend vector.
+//
+// Transfer encoding into the broadcast's uint64 payload:
+//   bits 48..63  recipient pid
+//   bits  0..47  amount
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::transfer {
+
+struct Transfer {
+  int to = 0;
+  std::uint64_t amount = 0;
+};
+
+inline broadcast::Value encode_transfer(const Transfer& t) {
+  return (static_cast<std::uint64_t>(t.to) << 48) |
+         (t.amount & ((1ULL << 48) - 1));
+}
+
+inline Transfer decode_transfer(broadcast::Value v) {
+  return Transfer{static_cast<int>(v >> 48), v & ((1ULL << 48) - 1)};
+}
+
+class AssetTransfer {
+ public:
+  struct Config {
+    int n = 4;
+    std::uint64_t initial_balance = 100;
+    int max_transfers = 4;  // per account (broadcast slots)
+  };
+
+  AssetTransfer(broadcast::ReliableBroadcast& rb, Config config)
+      : rb_(&rb), cfg_(config),
+        next_seq_(static_cast<std::size_t>(config.n) + 1, 0) {}
+
+  // Issues the caller's next transfer. Returns false without broadcasting
+  // if the caller's current balance cannot cover it (honest clients
+  // self-police; a Byzantine client skipping this check is handled at
+  // application time by every correct process independently).
+  bool transfer(int to, std::uint64_t amount) {
+    const int self = runtime::ThisProcess::id();
+    require_pid(self);
+    if (to < 1 || to > cfg_.n || to == self)
+      throw std::invalid_argument("bad recipient");
+    if (balance_of(self) < amount) return false;
+    int& seq = next_seq_[static_cast<std::size_t>(self)];
+    if (seq >= cfg_.max_transfers)
+      throw std::out_of_range("transfer budget exhausted");
+    rb_->broadcast(seq, encode_transfer({to, amount}));
+    ++seq;
+    return true;
+  }
+
+  // Deterministic balance: replays every deliverable transfer, applying
+  // each owner's transfers in sequence order, crediting only transfers
+  // whose sender balance covers them at application time (fixpoint).
+  std::uint64_t balance_of(int account) {
+    require_pid(runtime::ThisProcess::id());
+    if (account < 1 || account > cfg_.n)
+      throw std::invalid_argument("bad account");
+
+    // Collect deliverable transfers.
+    std::vector<std::vector<std::optional<Transfer>>> txs(
+        static_cast<std::size_t>(cfg_.n) + 1);
+    for (int owner = 1; owner <= cfg_.n; ++owner) {
+      auto& row = txs[static_cast<std::size_t>(owner)];
+      row.resize(static_cast<std::size_t>(cfg_.max_transfers));
+      for (int seq = 0; seq < cfg_.max_transfers; ++seq) {
+        const auto v = rb_->deliver(owner, seq);
+        if (v) row[static_cast<std::size_t>(seq)] = decode_transfer(*v);
+        // Stop at the first gap: later transfers cannot apply before
+        // earlier ones anyway (per-owner sequencing).
+        if (!v) break;
+      }
+    }
+
+    // Fixpoint application.
+    std::vector<std::uint64_t> balance(static_cast<std::size_t>(cfg_.n) + 1,
+                                       cfg_.initial_balance);
+    std::vector<int> applied(static_cast<std::size_t>(cfg_.n) + 1, 0);
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int owner = 1; owner <= cfg_.n; ++owner) {
+        const auto o = static_cast<std::size_t>(owner);
+        while (applied[o] < cfg_.max_transfers) {
+          const auto& slot = txs[o][static_cast<std::size_t>(applied[o])];
+          if (!slot) break;  // gap: owner's later transfers wait
+          const Transfer& t = *slot;
+          if (t.to < 1 || t.to > cfg_.n || t.to == owner) {
+            // Malformed (Byzantine) transfer: skip it permanently; it can
+            // never apply, and blocks nothing (deterministic for all).
+            ++applied[o];
+            progress = true;
+            continue;
+          }
+          if (balance[o] < t.amount) break;  // insufficient (for now)
+          balance[o] -= t.amount;
+          balance[static_cast<std::size_t>(t.to)] += t.amount;
+          ++applied[o];
+          progress = true;
+        }
+      }
+    }
+    return balance[static_cast<std::size_t>(account)];
+  }
+
+ private:
+  void require_pid(int pid) const {
+    if (pid < 1 || pid > cfg_.n)
+      throw std::logic_error("asset ops need a thread bound to p1..pn");
+  }
+
+  broadcast::ReliableBroadcast* rb_;
+  Config cfg_;
+  std::vector<int> next_seq_;  // per-owner, owner-thread-local use
+};
+
+}  // namespace swsig::transfer

@@ -1,0 +1,94 @@
+// Seeded pseudo-random number generation for deterministic simulation.
+//
+// All randomness in the library flows through `Rng` so a run is fully
+// reproducible from a single 64-bit seed. The engine is xoshiro256**,
+// seeded via SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace swsig::util {
+
+// SplitMix64 step; used to expand one seed word into an engine state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] (inclusive). Debiased via rejection.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return (*this)();  // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + draw % span;
+  }
+
+  // True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return uniform(1, den) <= num;
+  }
+
+  // Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& pool) {
+    return pool[static_cast<std::size_t>(uniform(0, pool.size() - 1))];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(0, i));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  // Derive an independent child generator (e.g., one per process).
+  Rng fork() { return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace swsig::util

@@ -1,0 +1,68 @@
+// Lightweight sample statistics used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swsig::util {
+
+// Collects double-valued samples and reports summary statistics.
+// Not thread-safe; benchmarks aggregate per-thread samples before merging.
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+
+  void merge(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+  double stddev() const {
+    if (values_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : values_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+  }
+
+  double min() const {
+    return values_.empty() ? 0.0
+                           : *std::min_element(values_.begin(), values_.end());
+  }
+
+  double max() const {
+    return values_.empty() ? 0.0
+                           : *std::max_element(values_.begin(), values_.end());
+  }
+
+  // p in [0,100]; nearest-rank percentile.
+  double percentile(double p) const {
+    if (values_.empty()) return 0.0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace swsig::util

@@ -1,0 +1,163 @@
+// Tests for the reliable broadcast objects: sticky (signature-free, n>3f)
+// and signed-certificate (n>2f) backends must provide the same guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "registers/space.hpp"
+#include "runtime/harness.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::broadcast {
+namespace {
+
+using runtime::ThisProcess;
+
+enum class Backend { kSticky, kSigned };
+
+class BroadcastSystem {
+ public:
+  BroadcastSystem(Backend backend, int n, int f, int max_broadcasts = 4)
+      : space_(controller_), auth_({.n = n, .seed = 5}) {
+    if (backend == Backend::kSticky) {
+      rb_ = std::make_unique<StickyReliableBroadcast>(
+          space_, StickyReliableBroadcast::Config{n, f, max_broadcasts});
+    } else {
+      rb_ = std::make_unique<SignedReliableBroadcast>(
+          space_, auth_,
+          SignedReliableBroadcast::Config{n, f, max_broadcasts});
+    }
+    for (int pid = 1; pid <= n; ++pid) {
+      helpers_.emplace_back([this, pid](std::stop_token st) {
+        ThisProcess::Binder bind(pid);
+        while (!st.stop_requested()) {
+          if (!rb_->help_round()) std::this_thread::yield();
+        }
+      });
+    }
+  }
+
+  ~BroadcastSystem() {
+    for (auto& t : helpers_) t.request_stop();
+  }
+
+  ReliableBroadcast& rb() { return *rb_; }
+
+  template <typename F>
+  auto as(int pid, F&& fn) {
+    ThisProcess::Binder bind(pid);
+    return std::forward<F>(fn)(*rb_);
+  }
+
+ private:
+  runtime::FreeStepController controller_;
+  registers::Space space_;
+  crypto::SignatureAuthority auth_;
+  std::unique_ptr<ReliableBroadcast> rb_;
+  std::vector<std::jthread> helpers_;
+};
+
+class BroadcastBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(BroadcastBackends, DeliverNothingBeforeBroadcast) {
+  BroadcastSystem sys(GetParam(), 4, 1);
+  EXPECT_EQ(sys.as(2, [](ReliableBroadcast& rb) { return rb.deliver(1, 0); }),
+            std::nullopt);
+}
+
+TEST_P(BroadcastBackends, BroadcastThenEveryoneDelivers) {
+  BroadcastSystem sys(GetParam(), 4, 1);
+  sys.as(1, [](ReliableBroadcast& rb) { rb.broadcast(0, 42); });
+  for (int pid = 2; pid <= 4; ++pid) {
+    // Deliverability may lag the broadcast's completion only for the
+    // sticky backend's readers; poll briefly.
+    std::optional<Value> got;
+    for (int i = 0; i < 1000 && !got; ++i) {
+      got = sys.as(pid, [](ReliableBroadcast& rb) { return rb.deliver(1, 0); });
+      if (!got) std::this_thread::yield();
+    }
+    EXPECT_EQ(got, std::optional<Value>(42)) << "p" << pid;
+  }
+}
+
+TEST_P(BroadcastBackends, MultipleSlotsIndependent) {
+  BroadcastSystem sys(GetParam(), 4, 1);
+  sys.as(1, [](ReliableBroadcast& rb) {
+    rb.broadcast(0, 10);
+    rb.broadcast(1, 11);
+  });
+  sys.as(2, [](ReliableBroadcast& rb) { rb.broadcast(0, 20); });
+  EXPECT_EQ(sys.as(3, [](ReliableBroadcast& rb) { return rb.deliver(1, 0); }),
+            std::optional<Value>(10));
+  EXPECT_EQ(sys.as(3, [](ReliableBroadcast& rb) { return rb.deliver(1, 1); }),
+            std::optional<Value>(11));
+  EXPECT_EQ(sys.as(3, [](ReliableBroadcast& rb) { return rb.deliver(2, 0); }),
+            std::optional<Value>(20));
+  EXPECT_EQ(sys.as(3, [](ReliableBroadcast& rb) { return rb.deliver(3, 0); }),
+            std::nullopt);
+}
+
+// Agreement (non-equivocation): once any correct process delivers v for a
+// slot, no correct process ever delivers a different value for it.
+TEST_P(BroadcastBackends, AgreementUnderConcurrentDelivery) {
+  BroadcastSystem sys(GetParam(), 4, 1);
+  sys.as(1, [](ReliableBroadcast& rb) { rb.broadcast(0, 7); });
+  std::set<Value> outcomes;
+  std::mutex mu;
+  runtime::Harness h;
+  for (int pid = 2; pid <= 4; ++pid) {
+    h.spawn(pid, "op", [&](std::stop_token) {
+      for (int i = 0; i < 20; ++i) {
+        const auto v = sys.rb().deliver(1, 0);
+        if (v) {
+          std::scoped_lock lock(mu);
+          outcomes.insert(*v);
+        }
+      }
+    });
+  }
+  h.start();
+  h.join();
+  EXPECT_LE(outcomes.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BroadcastBackends,
+                         ::testing::Values(Backend::kSticky, Backend::kSigned),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kSticky ? "Sticky"
+                                                                 : "Signed";
+                         });
+
+// Sticky backend blocks sender equivocation structurally: the slot's
+// register is sticky, so even raw double-writes cannot change the value.
+TEST(StickyBroadcast, SenderCannotOverwriteSlot) {
+  BroadcastSystem sys(Backend::kSticky, 4, 1);
+  sys.as(1, [](ReliableBroadcast& rb) {
+    rb.broadcast(0, 1);
+    rb.broadcast(0, 2);  // second write to the same slot: sticky no-op
+  });
+  EXPECT_EQ(sys.as(2, [](ReliableBroadcast& rb) { return rb.deliver(1, 0); }),
+            std::optional<Value>(1));
+}
+
+// Signed backend resilience domain: n = 3, f = 1 (n > 2f but NOT > 3f) —
+// signatures buy resilience the signature-free backend cannot offer.
+TEST(SignedBroadcast, WorksAtNThreeFOne) {
+  BroadcastSystem sys(Backend::kSigned, 3, 1);
+  sys.as(1, [](ReliableBroadcast& rb) { rb.broadcast(0, 9); });
+  EXPECT_EQ(sys.as(2, [](ReliableBroadcast& rb) { return rb.deliver(1, 0); }),
+            std::optional<Value>(9));
+  // ...while the sticky backend refuses this configuration outright.
+  runtime::FreeStepController ctrl;
+  registers::Space space(ctrl);
+  EXPECT_THROW(StickyReliableBroadcast(space, {3, 1, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsig::broadcast

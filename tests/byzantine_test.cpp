@@ -1,0 +1,163 @@
+// Tests for the Byzantine behavior library and the mechanized Theorem-29
+// reset attack: the attack must succeed (relay violation) exactly when
+// 3 <= n <= 3f, and must fail for n > 3f.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "byzantine/behaviors.hpp"
+#include "byzantine/reset_attack.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+#include "runtime/harness.hpp"
+
+namespace swsig::byzantine {
+namespace {
+
+using VReg = core::VerifiableRegister<int>;
+
+// --------------------------------------------------------- behaviors
+
+// A denying colluder cannot break validity/relay when n > 3f: quorums of
+// correct witnesses dominate.
+TEST(Behaviors, DenierCannotBlockVerification) {
+  core::FreeSystem<VReg> sys(
+      [] {
+        VReg::Config c;
+        c.n = 4;
+        c.f = 1;
+        c.v0 = 0;
+        return c;
+      }(),
+      core::HelperOptions{.exclude = {4}});  // p4 runs the denier instead
+  std::atomic<bool> stop{false};
+  sys.spawn(4, [&](std::stop_token st) {
+    DenyingHelper<VReg> denier(sys.alg());
+    while (!st.stop_requested() && !stop.load()) {
+      if (!denier.round()) std::this_thread::yield();
+    }
+  });
+  sys.as(1, [](VReg& r) {
+    r.write(5);
+    ASSERT_EQ(r.sign(5), core::SignResult::kSuccess);
+  });
+  EXPECT_TRUE(sys.as(2, [](VReg& r) { return r.verify(5); }));
+  EXPECT_TRUE(sys.as(3, [](VReg& r) { return r.verify(5); }));
+  stop = true;
+}
+
+// Vote-flipping colluders (the §5.1 scenario) cannot break relay for
+// n > 3f: set1 never un-grows, so flipped votes only delay.
+TEST(Behaviors, VoteFlipperCannotBreakRelay) {
+  core::FreeSystem<VReg> sys(
+      [] {
+        VReg::Config c;
+        c.n = 7;
+        c.f = 2;
+        c.v0 = 0;
+        return c;
+      }(),
+      core::HelperOptions{.exclude = {6, 7}});
+  std::atomic<bool> stop{false};
+  for (int b : {6, 7}) {
+    sys.spawn(b, [&](std::stop_token st) {
+      VoteFlipHelper<VReg> flipper(sys.alg(), 5);
+      while (!st.stop_requested() && !stop.load()) {
+        if (!flipper.round()) std::this_thread::yield();
+      }
+    });
+  }
+  sys.as(1, [](VReg& r) {
+    r.write(5);
+    ASSERT_EQ(r.sign(5), core::SignResult::kSuccess);
+  });
+  bool seen_true = false;
+  for (int round = 0; round < 10; ++round) {
+    for (int k = 2; k <= 5; ++k) {
+      const bool ok = sys.as(k, [](VReg& r) { return r.verify(5); });
+      if (seen_true) {
+        EXPECT_TRUE(ok) << "relay broken at round " << round;
+      }
+      if (ok) seen_true = true;
+    }
+  }
+  EXPECT_TRUE(seen_true);
+  stop = true;
+}
+
+// Erasure by the (Byzantine) writer after a verify: relay must survive via
+// the correct witnesses.
+TEST(Behaviors, EraseAfterVerifyRelaySurvives) {
+  core::FreeSystem<VReg> sys([] {
+    VReg::Config c;
+    c.n = 4;
+    c.f = 1;
+    c.v0 = 0;
+    return c;
+  }());
+  sys.as(1, [](VReg& r) {
+    r.write(5);
+    ASSERT_EQ(r.sign(5), core::SignResult::kSuccess);
+  });
+  ASSERT_TRUE(sys.as(2, [](VReg& r) { return r.verify(5); }));
+  // The writer "denies": erases every register it owns.
+  sys.as(1, [](VReg& r) { erase_verifiable_registers(r); });
+  // All correct readers can still prove the lie.
+  for (int k = 2; k <= 4; ++k)
+    EXPECT_TRUE(sys.as(k, [](VReg& r) { return r.verify(5); }));
+}
+
+// ------------------------------------------------------ reset attack
+
+struct AttackParam {
+  int n;
+  int f;
+  bool expect_violation;
+};
+
+class ResetAttack : public ::testing::TestWithParam<AttackParam> {};
+
+TEST_P(ResetAttack, BoundaryExactlyAt3f) {
+  const auto [n, f, expect_violation] = GetParam();
+  const ResetAttackOutcome out = run_reset_attack(n, f);
+  EXPECT_EQ(out.first_test, 1)
+      << "phase-1 Test by pa must succeed in every configuration";
+  EXPECT_EQ(out.relay_violated(), expect_violation)
+      << "n=" << n << " f=" << f << " first=" << out.first_test
+      << " second=" << out.second_test;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundary, ResetAttack,
+    ::testing::Values(
+        // n <= 3f: the paper's impossibility bites — attack succeeds.
+        AttackParam{3, 1, true}, AttackParam{4, 2, true},
+        AttackParam{5, 2, true}, AttackParam{6, 2, true},
+        AttackParam{6, 3, true}, AttackParam{9, 3, true},
+        // n > 3f: same schedule, attack must fail.
+        AttackParam{4, 1, false}, AttackParam{7, 2, false},
+        AttackParam{10, 3, false}),
+    [](const ::testing::TestParamInfo<AttackParam>& info) {
+      return "n" + std::to_string(info.param.n) + "f" +
+             std::to_string(info.param.f) +
+             (info.param.expect_violation ? "Breaks" : "Holds");
+    });
+
+TEST(ResetAttackMeta, PartitionRespectsProofShape) {
+  const ResetAttackOutcome out = run_reset_attack(6, 2);
+  // Byzantine = {s} ∪ Q1 with |Q1| <= f-1 -> at most f processes.
+  EXPECT_LE(out.byzantine.size(), 2u);
+  EXPECT_EQ(out.byzantine.front(), 1);
+  // Asleep = {pb} ∪ Q3.
+  EXPECT_EQ(out.asleep.front(), 3);
+  EXPECT_LE(out.asleep.size(), 2u);
+}
+
+TEST(ResetAttackMeta, RejectsDegenerateParameters) {
+  EXPECT_THROW(run_reset_attack(2, 1), std::invalid_argument);
+  EXPECT_THROW(run_reset_attack(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsig::byzantine

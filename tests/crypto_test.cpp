@@ -1,0 +1,195 @@
+// Crypto substrate tests: SHA-256 against FIPS 180-4 / NIST vectors,
+// HMAC-SHA256 against RFC 4231, and the oracle-enforced signature service.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongMessageMillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte message: padding spills into a second block.
+  const std::string msg(64, 'x');
+  Sha256 h;
+  h.update(msg);
+  const Digest d1 = h.finish();
+  // Same content fed byte-by-byte must agree.
+  Sha256 h2;
+  for (char c : msg) h2.update(&c, 1);
+  EXPECT_EQ(d1, h2.finish());
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog and keeps running";
+  Sha256 h;
+  h.update(msg.substr(0, 10));
+  h.update(msg.substr(10, 25));
+  h.update(msg.substr(35));
+  EXPECT_EQ(h.finish(), Sha256::hash(msg));
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update("abc");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(Hmac, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string data(50, '\xdd');
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than block size.
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(EncodeValue, IntegralLittleEndian) {
+  const std::string e = encode_value<std::uint64_t>(0x0102030405060708ULL);
+  ASSERT_EQ(e.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned char>(e[0]), 0x08);
+  EXPECT_EQ(static_cast<unsigned char>(e[7]), 0x01);
+}
+
+TEST(EncodeValue, StringPassThrough) {
+  EXPECT_EQ(encode_value<std::string>("hello"), "hello");
+}
+
+class SignerTest : public ::testing::Test {
+ protected:
+  SignatureAuthority auth{{.n = 4, .seed = 7}};
+};
+
+TEST_F(SignerTest, SignVerifyRoundTrip) {
+  runtime::ThisProcess::Binder bind(2);
+  const Signature sig = auth.sign(2, "message");
+  EXPECT_TRUE(auth.verify("message", sig));
+}
+
+TEST_F(SignerTest, VerifyRejectsTamperedMessage) {
+  runtime::ThisProcess::Binder bind(2);
+  const Signature sig = auth.sign(2, "message");
+  EXPECT_FALSE(auth.verify("messagE", sig));
+}
+
+TEST_F(SignerTest, VerifyRejectsWrongSigner) {
+  runtime::ThisProcess::Binder bind(2);
+  Signature sig = auth.sign(2, "message");
+  sig.signer = 3;  // claim it came from p3
+  EXPECT_FALSE(auth.verify("message", sig));
+}
+
+TEST_F(SignerTest, VerifyRejectsForgedTag) {
+  runtime::ThisProcess::Binder bind(2);
+  Signature sig = auth.sign(2, "message");
+  sig.tag[0] ^= 1;
+  EXPECT_FALSE(auth.verify("message", sig));
+}
+
+// The unforgeability oracle: you can lie (sign anything as yourself), but
+// you cannot sign as someone else.
+TEST_F(SignerTest, CannotSignAsAnotherProcess) {
+  runtime::ThisProcess::Binder bind(2);
+  EXPECT_NO_THROW(auth.sign(2, "any lie I want"));
+  EXPECT_THROW(auth.sign(3, "forged"), ForgeryAttempt);
+  EXPECT_THROW(auth.sign(1, "forged"), ForgeryAttempt);
+}
+
+TEST_F(SignerTest, UnboundThreadCannotSign) {
+  EXPECT_THROW(auth.sign(1, "m"), ForgeryAttempt);
+}
+
+TEST_F(SignerTest, RejectsUnknownSigner) {
+  runtime::ThisProcess::Binder bind(2);
+  EXPECT_THROW(auth.sign(9, "m"), std::invalid_argument);
+  Signature sig{9, {}};
+  EXPECT_FALSE(auth.verify("m", sig));
+}
+
+TEST_F(SignerTest, DifferentSignersDifferentTags) {
+  Signature a, b;
+  {
+    runtime::ThisProcess::Binder bind(1);
+    a = auth.sign(1, "m");
+  }
+  {
+    runtime::ThisProcess::Binder bind(2);
+    b = auth.sign(2, "m");
+  }
+  EXPECT_NE(a.tag, b.tag);
+}
+
+TEST_F(SignerTest, DeterministicAcrossInstancesWithSameSeed) {
+  SignatureAuthority other({.n = 4, .seed = 7});
+  runtime::ThisProcess::Binder bind(1);
+  EXPECT_EQ(auth.sign(1, "m").tag, other.sign(1, "m").tag);
+  // ...and a different seed yields different keys.
+  SignatureAuthority third({.n = 4, .seed = 8});
+  EXPECT_NE(auth.sign(1, "m").tag, third.sign(1, "m").tag);
+}
+
+TEST(SignerPk, SlowModeStillCorrect) {
+  SignatureAuthority auth(
+      {.n = 2, .seed = 1, .mode = SignatureAuthority::Mode::kSlowPk,
+       .pk_iterations = 16});
+  runtime::ThisProcess::Binder bind(1);
+  const Signature sig = auth.sign(1, "m");
+  EXPECT_TRUE(auth.verify("m", sig));
+  EXPECT_FALSE(auth.verify("x", sig));
+}
+
+}  // namespace
+}  // namespace swsig::crypto

@@ -1,0 +1,192 @@
+// Adversarial tests for the message-passing register emulation: Byzantine
+// writers equivocate at the network level, Byzantine processes flood fake
+// protocol messages and garbage payloads — none of it may violate the
+// register's semantics for correct processes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include "msgpass/emulated_swmr.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::msgpass {
+namespace {
+
+using runtime::ThisProcess;
+
+// Byzantine writer sends DIFFERENT values for the same sequence number to
+// different processes (network-level equivocation, the attack the
+// echo-once-per-sn rule exists for). Correct readers may see the old value
+// or whichever variant got certified — but never both variants.
+TEST(EmulatedByzantine, WriterEquivocationPerSnIsResolved) {
+  for (int round = 0; round < 5; ++round) {
+    EmulatedSpace space({.n = 4, .f = 1});
+    auto& reg = space.make_swmr<int>(1, 0, "r");
+    {
+      ThisProcess::Binder bind(1);
+      for (int to = 1; to <= 4; ++to) {
+        Message m;
+        m.to = to;
+        m.reg = 0;
+        m.type = "WRITE";
+        m.sn = 1;
+        m.payload = (to <= 2) ? 100 : 200;  // two variants of write #1
+        space.network().send(m);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::set<int> observed;
+    for (int pid = 2; pid <= 4; ++pid) {
+      ThisProcess::Binder bind(pid);
+      observed.insert(reg.read());
+    }
+    // 0 (initial) plus at most ONE of the two variants.
+    EXPECT_FALSE(observed.contains(100) && observed.contains(200))
+        << "round " << round;
+  }
+}
+
+// A Byzantine process floods ACCEPT messages for a value the writer never
+// wrote: with only f=1 voice it stays below the f+1 amplification and the
+// n−f delivery thresholds, so no correct process ever stores it.
+TEST(EmulatedByzantine, FakeAcceptFloodCannotForgeValues) {
+  EmulatedSpace space({.n = 4, .f = 1});
+  auto& reg = space.make_swmr<int>(1, 7, "r");
+  {
+    ThisProcess::Binder bind(3);  // Byzantine non-writer
+    for (int i = 0; i < 20; ++i) {
+      Message m;
+      m.reg = 0;
+      m.type = "ACCEPT";
+      m.sn = 99;
+      m.payload = 666;
+      space.network().broadcast(m);
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  for (int pid = 2; pid <= 4; ++pid) {
+    ThisProcess::Binder bind(pid);
+    EXPECT_EQ(reg.read(), 7) << "p" << pid;
+  }
+}
+
+// Same for fake WRITE messages from a non-owner: dropped at the source
+// check (only the owner's WRITEs are echoed).
+TEST(EmulatedByzantine, NonOwnerWriteMessagesIgnored) {
+  EmulatedSpace space({.n = 4, .f = 1});
+  auto& reg = space.make_swmr<int>(1, 7, "r");
+  {
+    ThisProcess::Binder bind(2);
+    Message m;
+    m.reg = 0;
+    m.type = "WRITE";
+    m.sn = 5;
+    m.payload = 123;
+    space.network().broadcast(m);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ThisProcess::Binder bind(3);
+  EXPECT_EQ(reg.read(), 7);
+}
+
+// Garbage payloads (wrong std::any type) must not crash server threads,
+// and the register must keep functioning afterwards.
+TEST(EmulatedByzantine, GarbagePayloadsAreDropped) {
+  EmulatedSpace space({.n = 4, .f = 1});
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  {
+    ThisProcess::Binder bind(4);
+    for (const char* type : {"WRITE", "ECHO", "ACCEPT", "STATE", "READ"}) {
+      Message m;
+      m.reg = 0;
+      m.type = type;
+      m.sn = 1;
+      m.payload = std::string("not-an-int");
+      space.network().broadcast(m);
+    }
+  }
+  // The system still works end-to-end.
+  {
+    ThisProcess::Binder bind(1);
+    reg.write(11);
+  }
+  ThisProcess::Binder bind(2);
+  EXPECT_EQ(reg.read(), 11);
+}
+
+// Messages for unknown register ids are ignored (no out-of-bounds access).
+TEST(EmulatedByzantine, UnknownRegisterIdIgnored) {
+  EmulatedSpace space({.n = 4, .f = 1});
+  auto& reg = space.make_swmr<int>(1, 3, "r");
+  {
+    ThisProcess::Binder bind(2);
+    Message m;
+    m.reg = 999;
+    m.type = "WRITE";
+    m.sn = 1;
+    m.payload = 5;
+    space.network().broadcast(m);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ThisProcess::Binder bind(3);
+  EXPECT_EQ(reg.read(), 3);
+}
+
+// A crashed (silent) process: writes and reads still complete with n−f
+// live processes.
+TEST(EmulatedByzantine, ToleratesSilentProcess) {
+  EmulatedSpace space({.n = 4, .f = 1});
+  // We cannot "crash" a server thread via public API, so emulate silence
+  // by having the Byzantine process never participate as a CLIENT; its
+  // server still runs, which only HELPS — so additionally check the
+  // protocol thresholds directly: with n=4, f=1, the writer needs 3 acks
+  // and a reader needs 3 matching states; both exist without p4's client.
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  {
+    ThisProcess::Binder bind(1);
+    reg.write(9);
+  }
+  ThisProcess::Binder bind(2);
+  EXPECT_EQ(reg.read(), 9);
+}
+
+// Concurrent equivocation + honest traffic on a SECOND register: protocol
+// instances are isolated by register id.
+TEST(EmulatedByzantine, RegistersAreIsolated) {
+  EmulatedSpace space({.n = 4, .f = 1});
+  auto& bad = space.make_swmr<int>(1, 0, "bad");
+  auto& good = space.make_swmr<int>(2, 0, "good");
+  std::atomic<bool> stop{false};
+  std::thread byz([&] {
+    ThisProcess::Binder bind(1);
+    int i = 0;
+    while (!stop.load()) {
+      Message m;
+      m.reg = 0;  // the "bad" register
+      m.type = "WRITE";
+      m.sn = 1;
+      m.to = 1 + (i % 4);
+      m.payload = (i % 2) ? 100 : 200;
+      space.network().send(m);
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+  {
+    ThisProcess::Binder bind(2);
+    good.write(55);
+  }
+  {
+    ThisProcess::Binder bind(3);
+    EXPECT_EQ(good.read(), 55);
+  }
+  stop = true;
+  byz.join();
+  (void)bad;
+}
+
+}  // namespace
+}  // namespace swsig::msgpass

@@ -1,0 +1,373 @@
+// Tests for the linearizability checker itself, then checks of REAL
+// histories recorded from the register implementations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/authenticated_register.hpp"
+#include "core/sticky_register.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+#include "lincheck/checker.hpp"
+#include "lincheck/history.hpp"
+#include "lincheck/properties.hpp"
+#include "lincheck/register_specs.hpp"
+#include "runtime/harness.hpp"
+#include "util/rng.hpp"
+
+namespace swsig::lincheck {
+namespace {
+
+Operation op(int id, int pid, std::string name, std::string arg,
+             std::string result, std::uint64_t inv, std::uint64_t resp) {
+  Operation o;
+  o.id = id;
+  o.pid = pid;
+  o.name = std::move(name);
+  o.arg = std::move(arg);
+  o.result = std::move(result);
+  o.invoke_ts = inv;
+  o.response_ts = resp;
+  return o;
+}
+
+// ------------------------------------------------ checker unit tests
+
+TEST(Checker, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(check_linearizable({}, PlainRegisterSpec("0")).linearizable);
+}
+
+TEST(Checker, SequentialReadAfterWrite) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "done", 1, 2),
+      op(1, 2, "read", "", "5", 3, 4),
+  };
+  EXPECT_TRUE(check_linearizable(h, PlainRegisterSpec("0")).linearizable);
+}
+
+TEST(Checker, StaleReadNotLinearizable) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "done", 1, 2),
+      op(1, 2, "read", "", "0", 3, 4),  // reads initial AFTER write completed
+  };
+  EXPECT_FALSE(check_linearizable(h, PlainRegisterSpec("0")).linearizable);
+}
+
+TEST(Checker, ConcurrentReadMayReturnEitherValue) {
+  // Read overlaps the write: both old and new value are linearizable.
+  for (const std::string result : {"0", "5"}) {
+    std::vector<Operation> h{
+        op(0, 1, "write", "5", "done", 1, 10),
+        op(1, 2, "read", "", result, 2, 3),
+    };
+    EXPECT_TRUE(check_linearizable(h, PlainRegisterSpec("0")).linearizable)
+        << result;
+  }
+  // But a value never written is not.
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "done", 1, 10),
+      op(1, 2, "read", "", "7", 2, 3),
+  };
+  EXPECT_FALSE(check_linearizable(h, PlainRegisterSpec("0")).linearizable);
+}
+
+TEST(Checker, NewOldInversionRejected) {
+  // Two sequential reads around two writes: r1=new, r2=old is NOT
+  // linearizable (the classic new/old inversion).
+  std::vector<Operation> h{
+      op(0, 1, "write", "1", "done", 1, 2),
+      op(1, 1, "write", "2", "done", 3, 4),
+      op(2, 2, "read", "", "2", 5, 6),
+      op(3, 3, "read", "", "1", 7, 8),
+  };
+  EXPECT_FALSE(check_linearizable(h, PlainRegisterSpec("0")).linearizable);
+}
+
+TEST(Checker, WitnessRespectsPrecedence) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "done", 1, 2),
+      op(1, 2, "read", "", "5", 3, 4),
+  };
+  const auto res = check_linearizable(h, PlainRegisterSpec("0"));
+  ASSERT_TRUE(res.linearizable);
+  ASSERT_EQ(res.witness.size(), 2u);
+  EXPECT_EQ(res.witness[0], 0);
+  EXPECT_EQ(res.witness[1], 1);
+}
+
+TEST(Checker, VerifiableSpecSignVerify) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "done", 1, 2),
+      op(1, 1, "sign", "5", "success", 3, 4),
+      op(2, 2, "verify", "5", "true", 5, 6),
+      op(3, 2, "verify", "7", "false", 7, 8),
+      op(4, 1, "sign", "9", "fail", 9, 10),
+  };
+  EXPECT_TRUE(
+      check_linearizable(h, VerifiableRegisterSpec("0")).linearizable);
+}
+
+TEST(Checker, VerifiableSpecRejectsVerifyWithoutSign) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "done", 1, 2),
+      op(1, 2, "verify", "5", "true", 3, 4),  // never signed
+  };
+  EXPECT_FALSE(
+      check_linearizable(h, VerifiableRegisterSpec("0")).linearizable);
+}
+
+TEST(Checker, VerifiableConcurrentSignVerifyEitherWay) {
+  for (const std::string result : {"true", "false"}) {
+    std::vector<Operation> h{
+        op(0, 1, "write", "5", "done", 1, 2),
+        op(1, 1, "sign", "5", "success", 3, 10),
+        op(2, 2, "verify", "5", result, 4, 5),
+    };
+    EXPECT_TRUE(
+        check_linearizable(h, VerifiableRegisterSpec("0")).linearizable)
+        << result;
+  }
+}
+
+TEST(Checker, AuthenticatedSpecInitialValueVerifies) {
+  std::vector<Operation> h{
+      op(0, 2, "verify", "0", "true", 1, 2),
+      op(1, 1, "write", "5", "done", 3, 4),
+      op(2, 2, "verify", "5", "true", 5, 6),
+      op(3, 3, "verify", "9", "false", 7, 8),
+  };
+  EXPECT_TRUE(
+      check_linearizable(h, AuthenticatedRegisterSpec("0")).linearizable);
+}
+
+TEST(Checker, StickySpecFirstWriteWins) {
+  std::vector<Operation> h{
+      op(0, 2, "read", "", "⊥", 1, 2),
+      op(1, 1, "write", "5", "done", 3, 4),
+      op(2, 1, "write", "6", "done", 5, 6),
+      op(3, 2, "read", "", "5", 7, 8),
+  };
+  EXPECT_TRUE(check_linearizable(h, StickyRegisterSpec()).linearizable);
+  // Second write winning is NOT sticky behavior.
+  std::vector<Operation> bad{
+      op(0, 1, "write", "5", "done", 1, 2),
+      op(1, 1, "write", "6", "done", 3, 4),
+      op(2, 2, "read", "", "6", 5, 6),
+  };
+  EXPECT_FALSE(check_linearizable(bad, StickyRegisterSpec()).linearizable);
+}
+
+TEST(Checker, TestOrSetSpec) {
+  std::vector<Operation> h{
+      op(0, 2, "test", "", "0", 1, 2),
+      op(1, 1, "set", "", "done", 3, 4),
+      op(2, 3, "test", "", "1", 5, 6),
+  };
+  EXPECT_TRUE(check_linearizable(h, TestOrSetSpec()).linearizable);
+  std::vector<Operation> bad{
+      op(0, 1, "set", "", "done", 1, 2),
+      op(1, 2, "test", "", "0", 3, 4),
+  };
+  EXPECT_FALSE(check_linearizable(bad, TestOrSetSpec()).linearizable);
+}
+
+TEST(Checker, RejectsOversizedHistory) {
+  std::vector<Operation> h;
+  for (int i = 0; i < 63; ++i)
+    h.push_back(op(i, 1, "write", "1", "done", 2 * i + 1, 2 * i + 2));
+  EXPECT_THROW(check_linearizable(h, PlainRegisterSpec("0")),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ property checkers
+
+TEST(Properties, RelayViolationDetected) {
+  std::vector<Operation> h{
+      op(0, 2, "verify", "5", "true", 1, 2),
+      op(1, 3, "verify", "5", "false", 3, 4),
+  };
+  EXPECT_FALSE(check_relay(h).empty());
+  // Concurrent verifies may disagree without violating relay.
+  std::vector<Operation> ok{
+      op(0, 2, "verify", "5", "true", 1, 5),
+      op(1, 3, "verify", "5", "false", 2, 6),
+  };
+  EXPECT_TRUE(check_relay(ok).empty());
+}
+
+TEST(Properties, ValidityViolationDetected) {
+  std::vector<Operation> h{
+      op(0, 1, "sign", "5", "success", 1, 2),
+      op(1, 2, "verify", "5", "false", 3, 4),
+  };
+  EXPECT_FALSE(check_validity(h).empty());
+}
+
+TEST(Properties, UnforgeabilityViolationDetected) {
+  std::vector<Operation> h{
+      op(0, 2, "verify", "5", "true", 1, 2),
+  };
+  EXPECT_FALSE(check_unforgeability(h).empty());
+  // ... but v0 is always verifiable in authenticated registers.
+  EXPECT_TRUE(check_unforgeability(h, "write", "5").empty());
+}
+
+TEST(Properties, UniquenessViolationDetected) {
+  std::vector<Operation> two_values{
+      op(0, 2, "read", "", "5", 1, 2),
+      op(1, 3, "read", "", "6", 3, 4),
+  };
+  EXPECT_FALSE(check_uniqueness(two_values).empty());
+  std::vector<Operation> value_then_bottom{
+      op(0, 2, "read", "", "5", 1, 2),
+      op(1, 3, "read", "", "⊥", 3, 4),
+  };
+  EXPECT_FALSE(check_uniqueness(value_then_bottom).empty());
+  std::vector<Operation> ok{
+      op(0, 2, "read", "", "⊥", 1, 2),
+      op(1, 3, "read", "", "5", 3, 4),
+  };
+  EXPECT_TRUE(check_uniqueness(ok).empty());
+}
+
+// ----------------------------- real histories from the implementations
+
+using VReg = core::VerifiableRegister<int>;
+using AReg = core::AuthenticatedRegister<int>;
+using SReg = core::StickyRegister<int>;
+
+std::string render_bool(bool b) { return b ? "true" : "false"; }
+
+// Concurrent workload against the real verifiable register; full Wing-Gong
+// check of the recorded history (all processes correct).
+TEST(RealHistories, VerifiableRegisterLinearizable) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    core::FreeSystem<VReg> sys([] {
+      VReg::Config c;
+      c.n = 4;
+      c.f = 1;
+      c.v0 = 0;
+      return c;
+    }());
+    HistoryRecorder rec;
+    runtime::Harness h;
+    h.spawn(1, "op", [&](std::stop_token) {
+      util::Rng rng(seed);
+      for (int i = 0; i < 4; ++i) {
+        const int v = static_cast<int>(rng.uniform(1, 3));
+        rec.record("write", std::to_string(v),
+                   [&] { sys.alg().write(v); return true; },
+                   [](bool) { return std::string("done"); });
+        if (rng.chance(1, 2)) {
+          rec.record("sign", std::to_string(v),
+                     [&] { return sys.alg().sign(v); },
+                     [](core::SignResult r) {
+                       return std::string(r == core::SignResult::kSuccess
+                                              ? "success"
+                                              : "fail");
+                     });
+        }
+      }
+    });
+    for (int k = 2; k <= 4; ++k) {
+      h.spawn(k, "op", [&, k](std::stop_token) {
+        util::Rng rng(seed * 100 + static_cast<std::uint64_t>(k));
+        for (int i = 0; i < 4; ++i) {
+          if (rng.chance(1, 2)) {
+            rec.record("read", "", [&] { return sys.alg().read(); },
+                       [](int v) { return std::to_string(v); });
+          } else {
+            const int v = static_cast<int>(rng.uniform(1, 3));
+            rec.record("verify", std::to_string(v),
+                       [&] { return sys.alg().verify(v); }, render_bool);
+          }
+        }
+      });
+    }
+    h.start();
+    h.join();
+    const auto ops = rec.operations();
+    const auto result = check_linearizable(ops, VerifiableRegisterSpec("0"));
+    EXPECT_TRUE(result.linearizable) << "seed " << seed;
+  }
+}
+
+TEST(RealHistories, AuthenticatedRegisterLinearizable) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    core::FreeSystem<AReg> sys([] {
+      AReg::Config c;
+      c.n = 4;
+      c.f = 1;
+      c.v0 = 0;
+      return c;
+    }());
+    HistoryRecorder rec;
+    runtime::Harness h;
+    h.spawn(1, "op", [&](std::stop_token) {
+      util::Rng rng(seed);
+      for (int i = 0; i < 5; ++i) {
+        const int v = static_cast<int>(rng.uniform(1, 3));
+        rec.record("write", std::to_string(v),
+                   [&] { sys.alg().write(v); return true; },
+                   [](bool) { return std::string("done"); });
+      }
+    });
+    for (int k = 2; k <= 4; ++k) {
+      h.spawn(k, "op", [&, k](std::stop_token) {
+        util::Rng rng(seed * 100 + static_cast<std::uint64_t>(k));
+        for (int i = 0; i < 4; ++i) {
+          if (rng.chance(1, 2)) {
+            rec.record("read", "", [&] { return sys.alg().read(); },
+                       [](int v) { return std::to_string(v); });
+          } else {
+            const int v = static_cast<int>(rng.uniform(0, 3));
+            rec.record("verify", std::to_string(v),
+                       [&] { return sys.alg().verify(v); }, render_bool);
+          }
+        }
+      });
+    }
+    h.start();
+    h.join();
+    const auto result =
+        check_linearizable(rec.operations(), AuthenticatedRegisterSpec("0"));
+    EXPECT_TRUE(result.linearizable) << "seed " << seed;
+  }
+}
+
+TEST(RealHistories, StickyRegisterLinearizable) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    core::FreeSystem<SReg> sys([] {
+      SReg::Config c;
+      c.n = 4;
+      c.f = 1;
+      return c;
+    }());
+    HistoryRecorder rec;
+    runtime::Harness h;
+    h.spawn(1, "op", [&](std::stop_token) {
+      rec.record("write", "7", [&] { sys.alg().write(7); return true; },
+                 [](bool) { return std::string("done"); });
+    });
+    for (int k = 2; k <= 4; ++k) {
+      h.spawn(k, "op", [&](std::stop_token) {
+        for (int i = 0; i < 4; ++i) {
+          rec.record("read", "", [&] { return sys.alg().read(); },
+                     [](const std::optional<int>& v) {
+                       return v ? std::to_string(*v) : std::string("⊥");
+                     });
+        }
+      });
+    }
+    h.start();
+    h.join();
+    const auto ops = rec.operations();
+    EXPECT_TRUE(check_linearizable(ops, StickyRegisterSpec()).linearizable)
+        << "seed " << seed;
+    EXPECT_TRUE(check_uniqueness(ops).empty()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace swsig::lincheck

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "registers/errors.hpp"
+#include "registers/seqlock.hpp"
+#include "registers/space.hpp"
+#include "runtime/harness.hpp"
+#include "runtime/process.hpp"
+#include "runtime/step_controller.hpp"
+
+namespace swsig::registers {
+namespace {
+
+using runtime::FreeStepController;
+using runtime::ThisProcess;
+
+class SpaceTest : public ::testing::Test {
+ protected:
+  FreeStepController ctrl;
+  Space space{ctrl};
+};
+
+TEST_F(SpaceTest, SwmrInitialValue) {
+  auto& reg = space.make_swmr<int>(1, 41, "r");
+  ThisProcess::Binder bind(2);
+  EXPECT_EQ(reg.read(), 41);
+}
+
+TEST_F(SpaceTest, SwmrOwnerWriteReadBack) {
+  auto& reg = space.make_swmr<std::string>(1, "init", "r");
+  ThisProcess::Binder bind(1);
+  reg.write("hello");
+  EXPECT_EQ(reg.read(), "hello");
+}
+
+TEST_F(SpaceTest, SwmrNonOwnerWriteThrows) {
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  ThisProcess::Binder bind(2);
+  EXPECT_THROW(reg.write(5), PortViolation);
+  EXPECT_EQ(reg.read(), 0);
+}
+
+TEST_F(SpaceTest, SwmrUnboundWriteThrows) {
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  EXPECT_THROW(reg.write(5), PortViolation);
+}
+
+TEST_F(SpaceTest, SwmrUpdateIsOwnerOnly) {
+  auto& reg = space.make_swmr<std::set<int>>(1, {}, "r");
+  {
+    ThisProcess::Binder bind(1);
+    auto after = reg.update([](std::set<int>& s) { s.insert(3); });
+    EXPECT_TRUE(after.contains(3));
+  }
+  ThisProcess::Binder bind(2);
+  EXPECT_THROW(reg.update([](std::set<int>& s) { s.insert(4); }),
+               PortViolation);
+  EXPECT_EQ(reg.read(), (std::set<int>{3}));
+}
+
+TEST_F(SpaceTest, SwsrReaderEnforced) {
+  auto& reg = space.make_swsr<int>(1, 3, 9, "r13");
+  {
+    ThisProcess::Binder bind(3);
+    EXPECT_EQ(reg.read(), 9);
+  }
+  ThisProcess::Binder bind(2);
+  EXPECT_THROW(reg.read(), PortViolation);
+}
+
+TEST_F(SpaceTest, SwsrWriterEnforced) {
+  auto& reg = space.make_swsr<int>(1, 3, 0, "r13");
+  {
+    ThisProcess::Binder bind(1);
+    reg.write(7);
+  }
+  ThisProcess::Binder bind(3);
+  EXPECT_THROW(reg.write(8), PortViolation);
+  EXPECT_EQ(reg.read(), 7);
+}
+
+TEST_F(SpaceTest, PermissiveModeSkipsChecks) {
+  FreeStepController c2;
+  Space lax(c2, Space::Enforcement::kPermissive);
+  auto& reg = lax.make_swmr<int>(1, 0, "r");
+  // Unbound thread may write in permissive mode.
+  reg.write(5);
+  EXPECT_EQ(reg.read(), 5);
+}
+
+TEST_F(SpaceTest, MetricsCountAccesses) {
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  ThisProcess::Binder bind(1);
+  const auto before = space.metrics().snapshot();
+  reg.write(1);
+  reg.read();
+  reg.read();
+  const auto delta = space.metrics().snapshot().delta(before);
+  EXPECT_EQ(delta.writes, 1u);
+  EXPECT_EQ(delta.reads, 2u);
+}
+
+TEST_F(SpaceTest, StepControllerGatesEveryAccess) {
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  ThisProcess::Binder bind(1);
+  const auto before = ctrl.steps();
+  reg.write(1);
+  reg.read();
+  EXPECT_EQ(ctrl.steps(), before + 2);
+}
+
+TEST_F(SpaceTest, RegisterCountTracksCreation) {
+  EXPECT_EQ(space.register_count(), 0u);
+  space.make_swmr<int>(1, 0, "a");
+  space.make_swsr<int>(1, 2, 0, "b");
+  EXPECT_EQ(space.register_count(), 2u);
+}
+
+TEST_F(SpaceTest, RegistersKeepStableAddressesAcrossCreation) {
+  auto& first = space.make_swmr<int>(1, 1, "first");
+  std::vector<Swmr<int>*> more;
+  for (int i = 0; i < 100; ++i)
+    more.push_back(&space.make_swmr<int>(1, i, "r" + std::to_string(i)));
+  ThisProcess::Binder bind(1);
+  EXPECT_EQ(first.read(), 1);
+  EXPECT_EQ(more[50]->read(), 50);
+}
+
+// Concurrent readers + single writer: every read observes some written
+// value (atomicity smoke test under free concurrency).
+TEST_F(SpaceTest, ConcurrentReadersSeeAtomicValues) {
+  auto& reg = space.make_swmr<std::pair<int, int>>(1, {0, 0}, "pair");
+  runtime::Harness h;
+  h.spawn(1, "op", [&](std::stop_token) {
+    for (int i = 1; i <= 2000; ++i) reg.write({i, -i});
+  });
+  for (int pid = 2; pid <= 4; ++pid) {
+    h.spawn(pid, "op", [&](std::stop_token) {
+      for (int i = 0; i < 2000; ++i) {
+        auto [a, b] = reg.read();
+        ASSERT_EQ(a, -b);  // never a torn pair
+      }
+    });
+  }
+  h.start();
+  h.join();
+}
+
+TEST(Seqlock, SingleThreadRoundTrip) {
+  SeqlockRegister<std::uint64_t> reg(5);
+  EXPECT_EQ(reg.read(), 5u);
+  reg.write(9);
+  EXPECT_EQ(reg.read(), 9u);
+}
+
+TEST(Seqlock, NoTornReadsUnderContention) {
+  struct Pair {
+    std::uint64_t a, b;
+  };
+  SeqlockRegister<Pair> reg(Pair{0, 0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 200000; ++i) reg.write({i, ~i});
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  std::atomic<bool> torn{false};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        Pair p = reg.read();
+        if (p.a != 0 && p.b != ~p.a) torn = true;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+}
+
+}  // namespace
+}  // namespace swsig::registers

@@ -1,0 +1,233 @@
+// Tests for the signature-free Byzantine-tolerant atomic snapshot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/harness.hpp"
+#include "runtime/process.hpp"
+#include "lincheck/checker.hpp"
+#include "lincheck/history.hpp"
+#include "lincheck/register_specs.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace swsig::snapshot {
+namespace {
+
+using runtime::ThisProcess;
+
+class SnapshotSystem {
+ public:
+  SnapshotSystem(int n, int f)
+      : space_(controller_), snap_(space_, {.n = n, .f = f, .v0 = 0}) {
+    for (int pid = 1; pid <= n; ++pid) {
+      helpers_.emplace_back([this, pid](std::stop_token st) {
+        ThisProcess::Binder bind(pid);
+        while (!st.stop_requested()) {
+          if (!snap_.help_round()) std::this_thread::yield();
+        }
+      });
+    }
+  }
+  ~SnapshotSystem() {
+    for (auto& t : helpers_) t.request_stop();
+  }
+
+  AtomicSnapshot& snap() { return snap_; }
+
+  template <typename F>
+  auto as(int pid, F&& fn) {
+    ThisProcess::Binder bind(pid);
+    return std::forward<F>(fn)(snap_);
+  }
+
+ private:
+  runtime::FreeStepController controller_;
+  registers::Space space_;
+  AtomicSnapshot snap_;
+  std::vector<std::jthread> helpers_;
+};
+
+TEST(Snapshot, InitialScanAllZero) {
+  SnapshotSystem sys(4, 1);
+  const Scan s = sys.as(2, [](AtomicSnapshot& sn) { return sn.scan(); });
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(s[static_cast<std::size_t>(i)].seq, 0u);
+    EXPECT_EQ(s[static_cast<std::size_t>(i)].value, 0u);
+  }
+}
+
+TEST(Snapshot, UpdateVisibleToScan) {
+  SnapshotSystem sys(4, 1);
+  sys.as(2, [](AtomicSnapshot& sn) { sn.update(5); });
+  sys.as(3, [](AtomicSnapshot& sn) { sn.update(7); });
+  const Scan s = sys.as(4, [](AtomicSnapshot& sn) { return sn.scan(); });
+  EXPECT_EQ(s[2].value, 5u);
+  EXPECT_EQ(s[3].value, 7u);
+  EXPECT_EQ(s[1].value, 0u);
+}
+
+TEST(Snapshot, SequenceNumbersAdvance) {
+  SnapshotSystem sys(4, 1);
+  sys.as(2, [](AtomicSnapshot& sn) {
+    sn.update(1);
+    sn.update(2);
+    sn.update(3);
+  });
+  const Scan s = sys.as(3, [](AtomicSnapshot& sn) { return sn.scan(); });
+  EXPECT_EQ(s[2].seq, 3u);
+  EXPECT_EQ(s[2].value, 3u);
+}
+
+TEST(Snapshot, ReadSegmentMatchesScan) {
+  SnapshotSystem sys(4, 1);
+  sys.as(2, [](AtomicSnapshot& sn) { sn.update(9); });
+  const Cell c = sys.as(3, [](AtomicSnapshot& sn) {
+    return sn.read_segment(2);
+  });
+  EXPECT_EQ(c.value, 9u);
+}
+
+// Scans are monotone: a scan that starts after another scan finished must
+// dominate it component-wise (this is implied by linearizability).
+TEST(Snapshot, ScanMonotonicityUnderConcurrentUpdates) {
+  SnapshotSystem sys(4, 1);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  runtime::Harness h;
+  h.spawn(1, "op", [&](std::stop_token) {
+    for (int i = 1; i <= 10; ++i) sys.snap().update(static_cast<unsigned>(i));
+    stop = true;
+  });
+  h.spawn(2, "op", [&](std::stop_token) {
+    for (int i = 1; i <= 10; ++i)
+      sys.snap().update(static_cast<unsigned>(100 + i));
+  });
+  h.spawn(3, "op", [&](std::stop_token) {
+    Scan last;
+    while (!stop.load()) {
+      Scan s = sys.snap().scan();
+      if (!last.empty()) {
+        for (std::size_t i = 1; i < s.size(); ++i)
+          if (s[i].seq < last[i].seq) violated = true;
+      }
+      last = std::move(s);
+    }
+  });
+  h.start();
+  h.join();
+  EXPECT_FALSE(violated.load());
+}
+
+// Two scanners racing two updaters: every returned scan must be a
+// consistent cut — formalized here as pairwise comparability (all scans
+// must form a chain under component-wise <=, which linearizability
+// implies for single-writer snapshots).
+TEST(Snapshot, ScansFormAChain) {
+  SnapshotSystem sys(4, 1);
+  std::vector<Scan> scans;
+  std::mutex mu;
+  std::atomic<bool> stop{false};
+  runtime::Harness h;
+  h.spawn(1, "op", [&](std::stop_token) {
+    for (int i = 1; i <= 8; ++i) sys.snap().update(static_cast<unsigned>(i));
+    stop = true;
+  });
+  for (int pid : {2, 3}) {
+    h.spawn(pid, "op", [&](std::stop_token) {
+      while (!stop.load()) {
+        Scan s = sys.snap().scan();
+        std::scoped_lock lock(mu);
+        scans.push_back(std::move(s));
+      }
+    });
+  }
+  h.start();
+  h.join();
+  auto leq = [](const Scan& a, const Scan& b) {
+    for (std::size_t i = 1; i < a.size(); ++i)
+      if (a[i].seq > b[i].seq) return false;
+    return true;
+  };
+  for (const Scan& a : scans)
+    for (const Scan& b : scans)
+      EXPECT_TRUE(leq(a, b) || leq(b, a)) << "incomparable scans (no chain)";
+}
+
+// A Byzantine updater churning its own segment (bounded) cannot corrupt
+// other segments in any returned scan, and scans still terminate.
+TEST(Snapshot, ByzantineChurnDoesNotCorruptOthers) {
+  SnapshotSystem sys(4, 1);
+  sys.as(2, [](AtomicSnapshot& sn) { sn.update(5); });
+  runtime::Harness h;
+  std::atomic<bool> bad{false};
+  h.spawn(1, "byz", [&](std::stop_token) {
+    // Byzantine p1: rapid updates with garbage values (its own segment —
+    // that is allowed; "its value" is whatever it writes).
+    for (int i = 0; i < 50; ++i) sys.snap().update(static_cast<unsigned>(i));
+  });
+  h.spawn(3, "op", [&](std::stop_token) {
+    for (int i = 0; i < 10; ++i) {
+      const Scan s = sys.snap().scan();
+      if (s[2].value != 5) bad = true;  // p2's segment must be untouched
+    }
+  });
+  h.start();
+  h.join();
+  EXPECT_FALSE(bad.load());
+}
+
+// Full Wing-Gong linearizability check of recorded update/scan histories
+// across seeds (all processes correct).
+TEST(Snapshot, RecordedHistoriesLinearizable) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SnapshotSystem sys(4, 1);
+    lincheck::HistoryRecorder rec;
+    runtime::Harness h;
+    auto render_scan = [](const Scan& s) {
+      std::string out;
+      for (std::size_t i = 1; i < s.size(); ++i) {
+        if (i > 1) out += "|";
+        out += std::to_string(s[i].value);
+      }
+      return out;
+    };
+    for (int pid : {1, 2}) {
+      h.spawn(pid, "op", [&, pid, seed](std::stop_token) {
+        util::Rng rng(seed * 10 + static_cast<std::uint64_t>(pid));
+        for (int i = 0; i < 3; ++i) {
+          const auto v = rng.uniform(1, 9);
+          rec.record("update", std::to_string(pid) + ":" + std::to_string(v),
+                     [&] { sys.snap().update(v); return true; },
+                     [](bool) { return std::string("done"); });
+        }
+      });
+    }
+    for (int pid : {3, 4}) {
+      h.spawn(pid, "op", [&, render_scan](std::stop_token) {
+        for (int i = 0; i < 3; ++i) {
+          rec.record("scan", "", [&] { return sys.snap().scan(); },
+                     render_scan);
+        }
+      });
+    }
+    h.start();
+    h.join();
+    const auto result = lincheck::check_linearizable(
+        rec.operations(), lincheck::SnapshotSpec(4, "0"));
+    EXPECT_TRUE(result.linearizable) << "seed " << seed;
+  }
+}
+
+TEST(Snapshot, RejectsBadResilience) {
+  runtime::FreeStepController ctrl;
+  registers::Space space(ctrl);
+  EXPECT_THROW(AtomicSnapshot(space, {.n = 6, .f = 2, .v0 = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsig::snapshot

@@ -1,0 +1,235 @@
+// Unit and property tests for Algorithm 3 (sticky register).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/sticky_register.hpp"
+#include "core/system.hpp"
+#include "runtime/harness.hpp"
+#include "util/rng.hpp"
+
+namespace swsig::core {
+namespace {
+
+using Reg = StickyRegister<int>;
+using Sys = FreeSystem<Reg>;
+
+Reg::Config cfg(int n, int f) {
+  Reg::Config c;
+  c.n = n;
+  c.f = f;
+  return c;
+}
+
+TEST(StickyConfig, RejectsInsufficientResilience) {
+  runtime::FreeStepController ctrl;
+  registers::Space space(ctrl);
+  EXPECT_THROW(Reg(space, cfg(3, 1)), std::invalid_argument);
+  EXPECT_NO_THROW(Reg(space, cfg(4, 1)));
+}
+
+TEST(Sticky, ReadBeforeWriteReturnsBottom) {
+  Sys sys(cfg(4, 1));
+  EXPECT_EQ(sys.as(2, [](Reg& r) { return r.read(); }), std::nullopt);
+}
+
+// [validity] Observation 22: after the first Write(v), every Read returns v.
+TEST(Sticky, ValidityFirstWriteWins) {
+  Sys sys(cfg(4, 1));
+  sys.as(1, [](Reg& r) { r.write(42); });
+  for (int k = 2; k <= 4; ++k) {
+    const auto v = sys.as(k, [](Reg& r) { return r.read(); });
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+  }
+}
+
+// A correct writer's second Write is a no-op (one-shot semantics: the
+// register keeps the first value).
+TEST(Sticky, SecondWriteIsNoOp) {
+  Sys sys(cfg(4, 1));
+  sys.as(1, [](Reg& r) {
+    r.write(1);
+    r.write(2);  // returns done without changing anything
+  });
+  const auto v = sys.as(3, [](Reg& r) { return r.read(); });
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+}
+
+// [uniqueness] Observation 24: once any reader reads v != ⊥, every
+// subsequent Read by any reader returns v.
+TEST(Sticky, UniquenessAcrossReaders) {
+  Sys sys(cfg(7, 2));
+  sys.as(1, [](Reg& r) { r.write(5); });
+  const auto first = sys.as(2, [](Reg& r) { return r.read(); });
+  ASSERT_TRUE(first.has_value());
+  for (int round = 0; round < 3; ++round) {
+    for (int k = 2; k <= 7; ++k) {
+      const auto v = sys.as(k, [](Reg& r) { return r.read(); });
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, *first);
+    }
+  }
+}
+
+TEST(Sticky, OperationsEnforceRoles) {
+  Sys sys(cfg(4, 1));
+  EXPECT_THROW(sys.as(2, [](Reg& r) { r.write(1); }), std::logic_error);
+  EXPECT_THROW(sys.as(1, [](Reg& r) { r.read(); }), std::logic_error);
+}
+
+// Byzantine writer tries to equivocate by rewriting its echo register E1
+// after the value propagated: correct readers must never observe two
+// different non-⊥ values.
+TEST(Sticky, ByzantineEquivocationDefeated) {
+  Sys sys(cfg(4, 1));
+  // Honest-looking first write.
+  sys.as(1, [](Reg& r) { r.write(7); });
+  ASSERT_EQ(sys.as(2, [](Reg& r) { return r.read(); }), std::optional<int>(7));
+  // Byzantine overwrite of own E1 (port allows it — it's p1's register).
+  sys.as(1, [](Reg& r) { (*r.raw().echo)[1]->write(std::optional<int>(999)); });
+  // Every subsequent read still returns 7: witnesses are already locked in
+  // and correct processes only echo the FIRST value they saw.
+  for (int k = 2; k <= 4; ++k)
+    EXPECT_EQ(sys.as(k, [](Reg& r) { return r.read(); }),
+              std::optional<int>(7));
+}
+
+// Byzantine writer that equivocates from the very start: writes a to E1,
+// then flips it to b before anyone echoes a consistent quorum. Readers may
+// return a, b, or ⊥ — but all concurrent and later readers must agree on
+// any non-⊥ value (uniqueness among correct readers).
+TEST(Sticky, EquivocationFromStartStillUnique) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Sys sys(cfg(4, 1));
+    std::atomic<int> seen_a{0}, seen_b{0};
+    runtime::Harness h;
+    h.spawn(1, "byz", [&](std::stop_token) {
+      auto raw = sys.alg().raw();
+      util::Rng rng(seed);
+      for (int i = 0; i < 50; ++i)
+        (*raw.echo)[1]->write(std::optional<int>(rng.chance(1, 2) ? 1 : 2));
+    });
+    for (int k = 2; k <= 4; ++k) {
+      h.spawn(k, "op", [&](std::stop_token) {
+        for (int i = 0; i < 5; ++i) {
+          const auto v = sys.alg().read();
+          if (v == std::optional<int>(1)) seen_a = 1;
+          if (v == std::optional<int>(2)) seen_b = 1;
+        }
+      });
+    }
+    h.start();
+    h.join();
+    EXPECT_FALSE(seen_a.load() && seen_b.load())
+        << "two different values read from one sticky register, seed "
+        << seed;
+  }
+}
+
+// Write termination requires n-f witnesses; with f crashed helpers the
+// writer must still return (n-f reachable witnesses remain).
+TEST(Sticky, WriteTerminatesWithCrashedProcesses) {
+  // p4 is crashed: its helper never runs.
+  Sys sys(cfg(4, 1), HelperOptions{.exclude = {4}});
+  sys.as(1, [](Reg& r) { r.write(11); });  // must not hang
+  EXPECT_EQ(sys.as(2, [](Reg& r) { return r.read(); }),
+            std::optional<int>(11));
+}
+
+// Read termination with a crashed process: |set⊥| can exceed f only via
+// actual ⊥-answers, and n-f witnesses still exist.
+TEST(Sticky, ReadTerminatesWithCrashedProcesses) {
+  Sys sys(cfg(7, 2), HelperOptions{.exclude = {6, 7}});
+  sys.as(1, [](Reg& r) { r.write(3); });
+  EXPECT_EQ(sys.as(2, [](Reg& r) { return r.read(); }),
+            std::optional<int>(3));
+  // Read of an unwritten register also terminates (⊥ via f+1 ⊥-answers)...
+  Sys fresh(cfg(7, 2), HelperOptions{.exclude = {6, 7}});
+  const auto bottom = fresh.as(2, [](Reg& r) { return r.read(); });
+  EXPECT_EQ(bottom, std::nullopt);
+}
+
+// Concurrent readers racing the writer: any mix of ⊥ and v is fine, but
+// never two different non-⊥ values, and after the Write completes all
+// reads return v.
+TEST(Sticky, ConcurrentReadersAgreeDuringWrite) {
+  Sys sys(cfg(4, 1));
+  std::set<int> observed;
+  std::mutex mu;
+  runtime::Harness h;
+  h.spawn(1, "op", [&](std::stop_token) { sys.alg().write(5); });
+  for (int k = 2; k <= 4; ++k) {
+    h.spawn(k, "op", [&](std::stop_token) {
+      for (int i = 0; i < 20; ++i) {
+        const auto v = sys.alg().read();
+        if (v.has_value()) {
+          std::scoped_lock lock(mu);
+          observed.insert(*v);
+        }
+      }
+    });
+  }
+  h.start();
+  h.join();
+  EXPECT_LE(observed.size(), 1u);
+  // After write completion, value is visible.
+  EXPECT_EQ(sys.as(2, [](Reg& r) { return r.read(); }),
+            std::optional<int>(5));
+}
+
+struct SweepParam {
+  int n;
+  int f;
+  std::uint64_t seed;
+};
+
+class StickySweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Uniqueness property under randomized concurrent reads + one writer.
+TEST_P(StickySweep, UniquenessUnderConcurrency) {
+  const auto [n, f, seed] = GetParam();
+  Sys sys(cfg(n, f));
+  util::Rng rng(seed);
+  const int value = static_cast<int>(rng.uniform(1, 100));
+  std::set<int> observed;
+  std::mutex mu;
+  runtime::Harness h;
+  h.spawn(1, "op", [&](std::stop_token) { sys.alg().write(value); });
+  for (int k = 2; k <= n; ++k) {
+    h.spawn(k, "op", [&](std::stop_token) {
+      for (int i = 0; i < 10; ++i) {
+        const auto v = sys.alg().read();
+        if (v.has_value()) {
+          std::scoped_lock lock(mu);
+          observed.insert(*v);
+        }
+      }
+    });
+  }
+  h.start();
+  h.join();
+  ASSERT_LE(observed.size(), 1u);
+  if (!observed.empty()) {
+    EXPECT_EQ(*observed.begin(), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, StickySweep,
+    ::testing::Values(SweepParam{4, 1, 1}, SweepParam{4, 1, 2},
+                      SweepParam{5, 1, 3}, SweepParam{7, 2, 4},
+                      SweepParam{10, 3, 5}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "n" + std::to_string(info.param.n) + "f" +
+             std::to_string(info.param.f) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace swsig::core

@@ -1,0 +1,160 @@
+// Long-running mixed-workload stress tests with live invariant monitors.
+// These run heavier traffic than the unit tests, with relay/uniqueness
+// monitors racing the operations, across multiple seeds and with Byzantine
+// participants active the whole time.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "byzantine/behaviors.hpp"
+#include "core/authenticated_register.hpp"
+#include "core/sticky_register.hpp"
+#include "core/system.hpp"
+#include "core/verifiable_register.hpp"
+#include "runtime/harness.hpp"
+#include "util/rng.hpp"
+
+namespace swsig::core {
+namespace {
+
+struct StressParam {
+  int n;
+  int f;
+  std::uint64_t seed;
+};
+
+class Stress : public ::testing::TestWithParam<StressParam> {};
+
+// Verifiable register: writer keeps writing/signing from a random stream
+// while readers verify random values; per-value relay monitors check that
+// no verified value is ever un-verified, even with a vote-flip colluder.
+TEST_P(Stress, VerifiableRelayNeverRegresses) {
+  const auto [n, f, seed] = GetParam();
+  using Reg = VerifiableRegister<int>;
+  const std::set<int> byz = {n};  // one colluder (<= f)
+  FreeSystem<Reg> sys(Reg::Config{n, f, 0, false},
+                      HelperOptions{.exclude = byz});
+  sys.spawn(n, [&sys](std::stop_token st) {
+    byzantine::VoteFlipHelper<Reg> flipper(sys.alg(), 3);
+    while (!st.stop_requested()) {
+      if (!flipper.round()) std::this_thread::yield();
+    }
+  });
+
+  constexpr int kValues = 6;
+  std::array<std::atomic<bool>, kValues + 1> verified{};
+  std::atomic<bool> violation{false};
+  std::atomic<bool> done{false};
+
+  runtime::Harness h;
+  h.spawn(1, "op", [&, seed = seed](std::stop_token) {
+    util::Rng rng(seed);
+    for (int i = 0; i < 60; ++i) {
+      const int v = static_cast<int>(rng.uniform(1, kValues));
+      sys.alg().write(v);
+      if (rng.chance(2, 3)) sys.alg().sign(v);
+    }
+    done = true;
+  });
+  for (int k = 2; k < n; ++k) {
+    h.spawn(k, "op", [&, k, seed = seed](std::stop_token) {
+      util::Rng rng(seed * 31 + static_cast<std::uint64_t>(k));
+      while (!done.load()) {
+        const int v = static_cast<int>(rng.uniform(1, kValues));
+        const bool was = verified[static_cast<std::size_t>(v)].load();
+        const bool now = sys.alg().verify(v);
+        if (now) verified[static_cast<std::size_t>(v)] = true;
+        if (was && !now) violation = true;  // relay regression
+      }
+    });
+  }
+  h.start();
+  h.join();
+  EXPECT_FALSE(violation.load()) << "n=" << n << " f=" << f << " seed "
+                                 << seed;
+}
+
+// Authenticated register under continuous writes: reads always return a
+// value that subsequently verifies (Observation 19 under churn).
+TEST_P(Stress, AuthenticatedReadAlwaysVerifiable) {
+  const auto [n, f, seed] = GetParam();
+  using Reg = AuthenticatedRegister<int>;
+  FreeSystem<Reg> sys(Reg::Config{n, f, 0, false});
+  std::atomic<bool> done{false};
+  std::atomic<bool> violation{false};
+
+  runtime::Harness h;
+  h.spawn(1, "op", [&, seed = seed](std::stop_token) {
+    util::Rng rng(seed);
+    for (int i = 0; i < 40; ++i)
+      sys.alg().write(static_cast<int>(rng.uniform(1, 50)));
+    done = true;
+  });
+  for (int k = 2; k <= std::min(n, 4); ++k) {
+    h.spawn(k, "op", [&](std::stop_token) {
+      while (!done.load()) {
+        const int v = sys.alg().read();
+        if (!sys.alg().verify(v)) violation = true;
+      }
+    });
+  }
+  h.start();
+  h.join();
+  EXPECT_FALSE(violation.load());
+}
+
+// Sticky register with an equivocating writer flipping its echo register
+// the whole time: readers may see ⊥ or one value — never two.
+TEST_P(Stress, StickyUniquenessUnderEquivocation) {
+  const auto [n, f, seed] = GetParam();
+  using Reg = StickyRegister<int>;
+  FreeSystem<Reg> sys(Reg::Config{n, f, false},
+                      HelperOptions{.exclude = {1}});
+  std::atomic<bool> done{false};
+  // Byzantine writer: flips E1 between two values forever; its helper
+  // otherwise behaves honestly (it may witness either value).
+  sys.spawn(1, [&sys, seed = seed](std::stop_token st) {
+    util::Rng rng(seed ^ 0xabcd);
+    auto raw = sys.alg().raw();
+    while (!st.stop_requested()) {
+      (*raw.echo)[1]->write(std::optional<int>(rng.chance(1, 2) ? 10 : 20));
+      sys.alg().help_round();
+    }
+  });
+
+  std::set<int> observed;
+  std::mutex mu;
+  runtime::Harness h;
+  for (int k = 2; k <= std::min(n, 5); ++k) {
+    h.spawn(k, "op", [&](std::stop_token) {
+      for (int i = 0; i < 8; ++i) {
+        const auto v = sys.alg().read();
+        if (v) {
+          std::scoped_lock lock(mu);
+          observed.insert(*v);
+        }
+      }
+    });
+  }
+  h.start();
+  h.join();
+  done = true;
+  EXPECT_LE(observed.size(), 1u)
+      << "sticky register returned two different values";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, Stress,
+    ::testing::Values(StressParam{4, 1, 1}, StressParam{4, 1, 2},
+                      StressParam{7, 2, 3}, StressParam{7, 2, 4},
+                      StressParam{10, 3, 5}),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      return "n" + std::to_string(info.param.n) + "f" +
+             std::to_string(info.param.f) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace swsig::core
