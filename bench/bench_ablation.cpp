@@ -1,4 +1,4 @@
-// T10 — Ablations of design choices called out in DESIGN.md:
+// T10 — Ablations of design choices recorded in docs/ARCHITECTURE.md:
 //  (a) register substrate: mutex-protected Swmr vs seqlock (read-mostly);
 //  (b) the paper's set0-reset Verify loop vs the §5.1 naive-quorum
 //      strawman — the strawman breaks the relay property under vote-flip

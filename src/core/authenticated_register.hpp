@@ -12,7 +12,9 @@
 // a Byzantine writer cannot make a Read return a value whose Verify would
 // later fail (Observation 19). If verification fails, Read returns v0.
 //
-// Code comments "L<k>" refer to the paper's Algorithm 2 line numbers.
+// Code comments "L<k>" refer to the paper's Algorithm 2 line numbers. Layer
+// invariants and deviations from the paper: docs/ARCHITECTURE.md (§core,
+// design notes 1-5).
 #pragma once
 
 #include <algorithm>

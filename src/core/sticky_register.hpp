@@ -13,7 +13,9 @@
 // echoes (or f+1 matching witnesses while helping), and the writer's
 // Write(v) returns only after n−f witnesses hold v.
 //
-// Code comments "L<k>" refer to the paper's Algorithm 3 line numbers.
+// Code comments "L<k>" refer to the paper's Algorithm 3 line numbers. Layer
+// invariants and deviations from the paper: docs/ARCHITECTURE.md (§core,
+// design notes 1-5).
 #pragma once
 
 #include <cstdint>

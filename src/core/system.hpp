@@ -1,4 +1,8 @@
-// Execution wrappers for the register algorithms.
+// Execution wrappers for the register algorithms — the glue that turns the
+// paper's model (§3: n asynchronous processes, each with an operation
+// sequence plus the implicit Help() duty) into runnable thread groups. Two
+// execution modes mirror docs/ARCHITECTURE.md §runtime: free (real
+// concurrency) and deterministic (replayable schedules).
 //
 // FreeSystem<Alg>: the convenient way to run an algorithm with real
 // concurrency — it owns the step controller, register space, algorithm

@@ -7,6 +7,9 @@
 // to prove the n > 3f bound optimal (Theorem 29 / 31): it cannot be
 // implemented from plain SWMR registers when 3 <= n <= 3f, but it trivially
 // can from any one of the three signature-property registers.
+//
+// The attack side of that argument is mechanized in byzantine/reset_attack;
+// see docs/ARCHITECTURE.md (§byzantine) for how the pieces fit.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,7 @@
-// Shared vocabulary for the three register algorithms.
+// Shared vocabulary for the three register algorithms (Algorithms 1-3):
+// the value-domain concept, Sign results (Definition 10), timestamps
+// (Algorithm 2), and the n > 3f resilience precondition (Theorems 14/20/25;
+// tightness by Theorem 29).
 #pragma once
 
 #include <concepts>

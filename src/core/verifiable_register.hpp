@@ -16,7 +16,9 @@
 //   R*    (writer)          SWMR value register, initially v0.
 //   C_k   (every reader)    SWMR round counter, initially 0.
 //
-// Code comments "L<k>" refer to the paper's Algorithm 1 line numbers.
+// Code comments "L<k>" refer to the paper's Algorithm 1 line numbers. Layer
+// invariants and deviations from the paper: docs/ARCHITECTURE.md (§core,
+// design notes 1-5).
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,5 @@
 // SHA-256 (FIPS 180-4), implemented from scratch — the offline environment
-// has no crypto library, and the signature baseline (S8/S9 in DESIGN.md)
+// has no crypto library, and the signature baseline (S8/S9 in docs/ARCHITECTURE.md)
 // needs realistic hashing cost. Verified against FIPS/NIST test vectors in
 // tests/crypto_test.cpp.
 #pragma once

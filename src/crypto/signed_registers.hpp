@@ -1,4 +1,6 @@
-// Signature-based baseline registers (S9 in DESIGN.md).
+// Signature-based baseline registers (substitution S9 in
+// docs/ARCHITECTURE.md) — the prior-work comparators, NOT a paper
+// construction: the paper's point is that core/ needs none of this.
 //
 // These provide the same abstract interfaces as the paper's three register
 // types but use (simulated) unforgeable signatures, the way prior work

@@ -1,4 +1,5 @@
-// Oracle-enforced unforgeable signatures (substitution S8 in DESIGN.md).
+// Oracle-enforced unforgeable signatures (substitution S8 in
+// docs/ARCHITECTURE.md).
 //
 // The paper assumes signatures whose forgery is computationally hard
 // (footnote 1). Offline we have no PKI, so we *enforce* unforgeability

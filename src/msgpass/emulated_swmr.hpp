@@ -34,7 +34,7 @@
 //  * Liveness: reads terminate once the writer quiesces (correct stores
 //    converge via totality); under an infinite write storm a read may
 //    retry unboundedly — the shared-memory algorithms built on top issue
-//    finitely many writes per operation. Recorded in DESIGN.md note 6.
+//    finitely many writes per operation. Recorded as design note 6 in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <condition_variable>

@@ -121,7 +121,7 @@ class Swmr {
   // process's operation steps and Help() steps are sequential (§3.3), so an
   // owner read-then-write can never be interleaved by the same process; we
   // split those onto two threads, and update() restores that per-process
-  // step atomicity (DESIGN.md, faithfulness note 2). Other processes only
+  // step atomicity (docs/ARCHITECTURE.md, design note 2). Other processes only
   // ever read this register, so to them update() is indistinguishable from
   // a plain write.
   template <typename F>

@@ -19,7 +19,7 @@
 //  (c) it lies within this scan's observation window (component-wise
 //  between the first and the latest collect).
 //
-// Liveness caveat (documented, DESIGN.md note 7): a Byzantine updater that
+// Liveness caveat (documented, docs/ARCHITECTURE.md design note 7): a Byzantine updater that
 // churns forever while publishing non-adoptable embedded scans can starve
 // scan() — Cohen–Keidar's signed original bounds this with signed embedded
 // scans; our window check (c) rejects exactly the fabrications their

@@ -1,3 +1,6 @@
+// Register substrate tests: port-ownership enforcement (the paper's §1
+// write-port axiom), atomicity of Swmr/Swsr accesses and owner update(),
+// and access metering.
 #include <gtest/gtest.h>
 
 #include <optional>

@@ -1,3 +1,6 @@
+// Runtime tests: thread→process binding, step counting, and the
+// deterministic step controller's serialization + same-seed-same-trace
+// replay guarantee.
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -1,0 +1,510 @@
+// Minimal single-header test framework, API-compatible with the subset of
+// GoogleTest used by this repository (TEST, TEST_F, TEST_P, value-parameterized
+// suites, EXPECT_*/ASSERT_* with streamed messages). Bundled so that the tier-1
+// verify command needs no external dependency: the build injects this directory
+// ahead of any system include path, so `#include <gtest/gtest.h>` resolves here.
+//
+// Intentional simplifications relative to GoogleTest:
+//  - tests run sequentially in registration/instantiation order
+//  - no death tests, no matchers, no typed tests (unused in this repo)
+//  - --gtest_* command-line flags are accepted and ignored
+#ifndef SWSIG_TESTS_SUPPORT_GTEST_GTEST_H_
+#define SWSIG_TESTS_SUPPORT_GTEST_GTEST_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Test {
+ public:
+  virtual ~Test() = default;
+
+ protected:
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+
+ public:
+  virtual void TestBody() = 0;
+  void RunFullBody() {
+    SetUp();
+    TestBody();
+    TearDown();
+  }
+};
+
+// Streamed user message attached to a failing assertion via `<<`.
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+template <typename T>
+struct TestParamInfo {
+  T param;
+  std::size_t index;
+};
+
+namespace internal {
+
+struct TestEntry {
+  std::string full_name;
+  std::function<void()> run;
+};
+
+inline std::vector<TestEntry>& Registry() {
+  static std::vector<TestEntry> r;
+  return r;
+}
+
+// Deferred INSTANTIATE_TEST_SUITE_P expansions, run once by RUN_ALL_TESTS so
+// that every TEST_P in the translation unit is visible regardless of order.
+inline std::vector<std::function<void()>>& Expanders() {
+  static std::vector<std::function<void()>> e;
+  return e;
+}
+
+inline std::atomic<bool>& CurrentTestFailed() {
+  static std::atomic<bool> failed{false};
+  return failed;
+}
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string PrintValue(const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return value ? "true" : "false";
+  } else if constexpr (IsStreamable<T>::value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else if constexpr (std::is_enum_v<T>) {
+    std::ostringstream os;
+    os << static_cast<std::underlying_type_t<T>>(value);
+    return os.str();
+  } else {
+    return "<value of " + std::string(sizeof(T) < 10 ? "small" : "large") +
+           " unprintable type>";
+  }
+}
+
+struct CmpResult {
+  bool ok;
+  std::string detail;
+};
+
+#define SWSIG_GTEST_DEFINE_CMP_(name, op)                            \
+  template <typename A, typename B>                                  \
+  CmpResult Cmp##name(const A& a, const B& b) {                      \
+    if (a op b) return {true, {}};                                   \
+    return {false, "actual: " + PrintValue(a) + " vs " +             \
+                       PrintValue(b)};                               \
+  }
+SWSIG_GTEST_DEFINE_CMP_(EQ, ==)
+SWSIG_GTEST_DEFINE_CMP_(NE, !=)
+SWSIG_GTEST_DEFINE_CMP_(LT, <)
+SWSIG_GTEST_DEFINE_CMP_(LE, <=)
+SWSIG_GTEST_DEFINE_CMP_(GT, >)
+SWSIG_GTEST_DEFINE_CMP_(GE, >=)
+#undef SWSIG_GTEST_DEFINE_CMP_
+
+inline CmpResult CmpNear(double a, double b, double tol) {
+  if (std::fabs(a - b) <= tol) return {true, {}};
+  std::ostringstream os;
+  os << "actual: " << a << " vs " << b << " (tolerance " << tol << ")";
+  return {false, os.str()};
+}
+
+// 4-ULP comparison, matching GoogleTest's EXPECT_DOUBLE_EQ semantics.
+inline CmpResult CmpDoubleEq(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return {false, "NaN operand"};
+  if (a == b) return {true, {}};
+  std::int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(a));
+  std::memcpy(&ib, &b, sizeof(b));
+  const auto biased = [](std::int64_t bits) -> std::uint64_t {
+    const std::uint64_t u = static_cast<std::uint64_t>(bits);
+    const std::uint64_t sign = std::uint64_t{1} << 63;
+    return (u & sign) ? (sign - (u & ~sign)) : (u | sign);
+  };
+  const std::uint64_t ba = biased(ia), bb = biased(ib);
+  const std::uint64_t dist = ba > bb ? ba - bb : bb - ba;
+  if (dist <= 4) return {true, {}};
+  std::ostringstream os;
+  os.precision(17);
+  os << "actual: " << a << " vs " << b;
+  return {false, os.str()};
+}
+
+// Records one assertion failure. Built on the gtest trick that
+// `helper = Message() << a << b` streams first, then assigns, so a trailing
+// `return` (for ASSERT_*) can prefix the whole expression.
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string summary)
+      : file_(file), line_(line), summary_(std::move(summary)) {}
+  void operator=(const Message& message) const {
+    CurrentTestFailed().store(true, std::memory_order_relaxed);
+    std::string user = message.str();
+    std::fprintf(stderr, "%s:%d: Failure\n%s%s%s\n", file_, line_, summary_.c_str(),
+                 user.empty() ? "" : "\n", user.c_str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+inline bool RegisterTest(const char* suite, const char* name,
+                         std::function<Test*()> factory) {
+  Registry().push_back(
+      {std::string(suite) + "." + name, [factory = std::move(factory)]() {
+         Test* t = factory();
+         t->RunFullBody();
+         delete t;
+       }});
+  return true;
+}
+
+template <typename Fixture>
+struct ParamRegistry {
+  struct Pattern {
+    const char* suite;
+    const char* name;
+    std::function<Fixture*()> factory;
+  };
+  static std::vector<Pattern>& Patterns() {
+    static std::vector<Pattern> p;
+    return p;
+  }
+  static bool Add(const char* suite, const char* name,
+                  std::function<Fixture*()> factory) {
+    Patterns().push_back({suite, name, std::move(factory)});
+    return true;
+  }
+};
+
+template <typename P>
+std::string DefaultParamName(const TestParamInfo<P>& info) {
+  return std::to_string(info.index);
+}
+
+template <typename Fixture, typename Generator, typename Namer>
+bool InstantiateParamSuite(const char* prefix, const Generator& generator,
+                           Namer namer) {
+  using P = typename Fixture::ParamType;
+  const std::vector<P> params = generator;  // generators convert on demand
+  Expanders().push_back([prefix, params, namer]() {
+    for (const auto& pattern : ParamRegistry<Fixture>::Patterns()) {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        const std::string pname = namer(TestParamInfo<P>{params[i], i});
+        Registry().push_back(
+            {std::string(prefix) + "/" + pattern.suite + "." + pattern.name +
+                 "/" + pname,
+             [factory = pattern.factory, param = params[i]]() {
+               // Param must be visible before construction: real gtest
+               // allows GetParam() from the fixture constructor.
+               Fixture::CurrentParam() = &param;
+               Fixture* t = factory();
+               t->RunFullBody();
+               Fixture::CurrentParam() = nullptr;
+               delete t;
+             }});
+      }
+    }
+  });
+  return true;
+}
+
+template <typename Fixture, typename Generator>
+bool InstantiateParamSuite(const char* prefix, const Generator& generator) {
+  using P = typename Fixture::ParamType;
+  return InstantiateParamSuite<Fixture>(prefix, generator,
+                                        &DefaultParamName<P>);
+}
+
+inline int RunAllTestsImpl() {
+  for (auto& expand : Expanders()) expand();
+  Expanders().clear();
+  int failed = 0;
+  const auto& tests = Registry();
+  std::fprintf(stderr, "[==========] Running %zu tests.\n", tests.size());
+  for (const auto& test : tests) {
+    std::fprintf(stderr, "[ RUN      ] %s\n", test.full_name.c_str());
+    CurrentTestFailed().store(false, std::memory_order_relaxed);
+    try {
+      test.run();
+    } catch (const std::exception& e) {
+      CurrentTestFailed().store(true, std::memory_order_relaxed);
+      std::fprintf(stderr, "  unexpected exception: %s\n", e.what());
+    } catch (...) {
+      CurrentTestFailed().store(true, std::memory_order_relaxed);
+      std::fprintf(stderr, "  unexpected non-std exception\n");
+    }
+    if (CurrentTestFailed().load(std::memory_order_relaxed)) {
+      ++failed;
+      std::fprintf(stderr, "[  FAILED  ] %s\n", test.full_name.c_str());
+    } else {
+      std::fprintf(stderr, "[       OK ] %s\n", test.full_name.c_str());
+    }
+  }
+  std::fprintf(stderr, "[==========] %zu tests ran.\n", tests.size());
+  std::fprintf(stderr, "[  PASSED  ] %zu tests.\n", tests.size() - failed);
+  if (failed) std::fprintf(stderr, "[  FAILED  ] %d tests.\n", failed);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace internal
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  const T& GetParam() const { return *CurrentParam(); }
+  static const T*& CurrentParam() {
+    static const T* current = nullptr;
+    return current;
+  }
+};
+
+// Value generators. They stay polymorphic (templated conversion to
+// std::vector<P>) so `Values(1, 2u)` can instantiate a suite whose ParamType
+// is neither argument's exact type, as in GoogleTest.
+template <typename... Ts>
+struct ValueArrayGen {
+  std::tuple<Ts...> values;
+  template <typename P>
+  operator std::vector<P>() const {
+    std::vector<P> out;
+    out.reserve(sizeof...(Ts));
+    std::apply([&out](const Ts&... v) { (out.push_back(static_cast<P>(v)), ...); },
+               values);
+    return out;
+  }
+};
+
+template <typename... Ts>
+ValueArrayGen<Ts...> Values(Ts... values) {
+  return {std::tuple<Ts...>(std::move(values)...)};
+}
+
+template <typename T, typename S = int>
+struct RangeGen {
+  T begin, end;
+  S step;
+  template <typename P>
+  operator std::vector<P>() const {
+    std::vector<P> out;
+    for (T v = begin; v < end; v = static_cast<T>(v + step))
+      out.push_back(static_cast<P>(v));
+    return out;
+  }
+};
+
+template <typename T>
+RangeGen<T> Range(T begin, T end) {
+  return {begin, end, 1};
+}
+template <typename T, typename S>
+RangeGen<T, S> Range(T begin, T end, S step) {
+  return {begin, end, step};
+}
+
+inline void InitGoogleTest(int*, char**) {}
+inline void InitGoogleTest() {}
+
+}  // namespace testing
+
+#define RUN_ALL_TESTS() ::testing::internal::RunAllTestsImpl()
+
+#define SWSIG_GTEST_CLASS_(suite, name) suite##_##name##_Test
+
+#define SWSIG_GTEST_TEST_(suite, name, parent)                                 \
+  class SWSIG_GTEST_CLASS_(suite, name) : public parent {                      \
+   public:                                                                     \
+    void TestBody() override;                                                  \
+  };                                                                           \
+  [[maybe_unused]] static const bool swsig_gtest_reg_##suite##_##name =        \
+      ::testing::internal::RegisterTest(#suite, #name, []() -> ::testing::Test* { \
+        return new SWSIG_GTEST_CLASS_(suite, name);                            \
+      });                                                                      \
+  void SWSIG_GTEST_CLASS_(suite, name)::TestBody()
+
+#define TEST(suite, name) SWSIG_GTEST_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) SWSIG_GTEST_TEST_(fixture, name, fixture)
+
+#define TEST_P(fixture, name)                                                  \
+  class SWSIG_GTEST_CLASS_(fixture, name) : public fixture {                   \
+   public:                                                                     \
+    void TestBody() override;                                                  \
+  };                                                                           \
+  [[maybe_unused]] static const bool swsig_gtest_preg_##fixture##_##name =     \
+      ::testing::internal::ParamRegistry<fixture>::Add(                        \
+          #fixture, #name, []() -> fixture* {                                  \
+            return new SWSIG_GTEST_CLASS_(fixture, name);                      \
+          });                                                                  \
+  void SWSIG_GTEST_CLASS_(fixture, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, ...)                         \
+  [[maybe_unused]] static const bool swsig_gtest_inst_##prefix##_##fixture =   \
+      ::testing::internal::InstantiateParamSuite<fixture>(#prefix, __VA_ARGS__)
+
+// Core assertion machinery. The switch/if shape makes each macro a single
+// statement usable in un-braced if/else, and lets ASSERT_* prefix `return`.
+#define SWSIG_GTEST_ASSERT_(ok_expr, summary, on_fail)                         \
+  switch (0)                                                                   \
+  case 0:                                                                      \
+  default:                                                                     \
+    if (ok_expr)                                                               \
+      ;                                                                        \
+    else                                                                       \
+      on_fail ::testing::internal::AssertHelper(__FILE__, __LINE__, summary) = \
+          ::testing::Message()
+
+#define SWSIG_GTEST_CMP_(name, a, b, on_fail)                                  \
+  switch (0)                                                                   \
+  case 0:                                                                      \
+  default:                                                                     \
+    if (::testing::internal::CmpResult swsig_gtest_r =                         \
+            ::testing::internal::Cmp##name((a), (b));                          \
+        swsig_gtest_r.ok)                                                      \
+      ;                                                                        \
+    else                                                                       \
+      on_fail ::testing::internal::AssertHelper(                               \
+          __FILE__, __LINE__,                                                  \
+          std::string(#name "(" #a ", " #b ") failed: ") +                     \
+              swsig_gtest_r.detail) = ::testing::Message()
+
+#define EXPECT_EQ(a, b) SWSIG_GTEST_CMP_(EQ, a, b, )
+#define EXPECT_NE(a, b) SWSIG_GTEST_CMP_(NE, a, b, )
+#define EXPECT_LT(a, b) SWSIG_GTEST_CMP_(LT, a, b, )
+#define EXPECT_LE(a, b) SWSIG_GTEST_CMP_(LE, a, b, )
+#define EXPECT_GT(a, b) SWSIG_GTEST_CMP_(GT, a, b, )
+#define EXPECT_GE(a, b) SWSIG_GTEST_CMP_(GE, a, b, )
+#define ASSERT_EQ(a, b) SWSIG_GTEST_CMP_(EQ, a, b, return)
+#define ASSERT_NE(a, b) SWSIG_GTEST_CMP_(NE, a, b, return)
+#define ASSERT_LT(a, b) SWSIG_GTEST_CMP_(LT, a, b, return)
+#define ASSERT_LE(a, b) SWSIG_GTEST_CMP_(LE, a, b, return)
+#define ASSERT_GT(a, b) SWSIG_GTEST_CMP_(GT, a, b, return)
+#define ASSERT_GE(a, b) SWSIG_GTEST_CMP_(GE, a, b, return)
+
+#define EXPECT_TRUE(x) \
+  SWSIG_GTEST_ASSERT_(static_cast<bool>(x), "EXPECT_TRUE(" #x ") failed", )
+#define EXPECT_FALSE(x) \
+  SWSIG_GTEST_ASSERT_(!static_cast<bool>(x), "EXPECT_FALSE(" #x ") failed", )
+#define ASSERT_TRUE(x) \
+  SWSIG_GTEST_ASSERT_(static_cast<bool>(x), "ASSERT_TRUE(" #x ") failed", return)
+#define ASSERT_FALSE(x)                                                  \
+  SWSIG_GTEST_ASSERT_(!static_cast<bool>(x), "ASSERT_FALSE(" #x ") failed", \
+                      return)
+
+#define EXPECT_NEAR(a, b, tol)                                                 \
+  switch (0)                                                                   \
+  case 0:                                                                      \
+  default:                                                                     \
+    if (::testing::internal::CmpResult swsig_gtest_r =                         \
+            ::testing::internal::CmpNear((a), (b), (tol));                     \
+        swsig_gtest_r.ok)                                                      \
+      ;                                                                        \
+    else                                                                       \
+      ::testing::internal::AssertHelper(                                       \
+          __FILE__, __LINE__,                                                  \
+          std::string("EXPECT_NEAR(" #a ", " #b ", " #tol ") failed: ") +      \
+              swsig_gtest_r.detail) = ::testing::Message()
+
+#define EXPECT_DOUBLE_EQ(a, b)                                                 \
+  switch (0)                                                                   \
+  case 0:                                                                      \
+  default:                                                                     \
+    if (::testing::internal::CmpResult swsig_gtest_r =                         \
+            ::testing::internal::CmpDoubleEq((a), (b));                        \
+        swsig_gtest_r.ok)                                                      \
+      ;                                                                        \
+    else                                                                       \
+      ::testing::internal::AssertHelper(                                       \
+          __FILE__, __LINE__,                                                  \
+          std::string("EXPECT_DOUBLE_EQ(" #a ", " #b ") failed: ") +           \
+              swsig_gtest_r.detail) = ::testing::Message()
+
+// Outcome codes for the lambda probe: 0 = no throw, 1 = expected type,
+// 2 = wrong type.
+#define SWSIG_GTEST_THROW_PROBE_(stmt, extype)                        \
+  [&]() -> int {                                                      \
+    try {                                                             \
+      stmt;                                                           \
+    } catch (const extype&) {                                         \
+      return 1;                                                       \
+    } catch (...) {                                                   \
+      return 2;                                                       \
+    }                                                                 \
+    return 0;                                                         \
+  }()
+
+#define EXPECT_THROW(stmt, extype)                                          \
+  SWSIG_GTEST_ASSERT_(SWSIG_GTEST_THROW_PROBE_(stmt, extype) == 1,          \
+                      "EXPECT_THROW(" #stmt ", " #extype                    \
+                      ") failed: wrong or missing exception", )
+
+#define ASSERT_THROW(stmt, extype)                                          \
+  SWSIG_GTEST_ASSERT_(SWSIG_GTEST_THROW_PROBE_(stmt, extype) == 1,          \
+                      "ASSERT_THROW(" #stmt ", " #extype                    \
+                      ") failed: wrong or missing exception", return)
+
+#define EXPECT_NO_THROW(stmt)                                               \
+  SWSIG_GTEST_ASSERT_(                                                      \
+      [&]() -> bool {                                                       \
+        try {                                                               \
+          stmt;                                                             \
+        } catch (...) {                                                     \
+          return false;                                                     \
+        }                                                                   \
+        return true;                                                        \
+      }(),                                                                  \
+      "EXPECT_NO_THROW(" #stmt ") failed: exception thrown", )
+
+#define ASSERT_NO_THROW(stmt)                                               \
+  SWSIG_GTEST_ASSERT_(                                                      \
+      [&]() -> bool {                                                       \
+        try {                                                               \
+          stmt;                                                             \
+        } catch (...) {                                                     \
+          return false;                                                     \
+        }                                                                   \
+        return true;                                                        \
+      }(),                                                                  \
+      "ASSERT_NO_THROW(" #stmt ") failed: exception thrown", return)
+
+#define ADD_FAILURE()                                                        \
+  ::testing::internal::AssertHelper(__FILE__, __LINE__, "Failure") =         \
+      ::testing::Message()
+#define FAIL()                                                               \
+  return ::testing::internal::AssertHelper(__FILE__, __LINE__, "Failure") = \
+      ::testing::Message()
+#define SUCCEED() static_cast<void>(0)
+
+#endif  // SWSIG_TESTS_SUPPORT_GTEST_GTEST_H_

@@ -1,0 +1,7 @@
+// Bundled replacement for gtest_main: every test executable links this.
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,3 +1,5 @@
+// Utility tests: seeded RNG determinism and distribution sanity, Samples
+// statistics, and Table formatting.
 #include <gtest/gtest.h>
 
 #include <set>
