@@ -10,6 +10,7 @@
 #include <map>
 #include <thread>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "byzantine/behaviors.hpp"
 #include "core/system.hpp"
@@ -35,7 +36,10 @@ SubstrateResult substrate() {
   {
     runtime::FreeStepController ctrl;
     registers::Space space(ctrl, registers::Space::Enforcement::kPermissive);
-    auto& reg = space.make_swmr<std::uint64_t>(1, 0, "m");
+    // Swmr<T> now defaults to seqlock storage for trivially copyable T;
+    // the ablation's mutex arm forces the mutex engine explicitly.
+    registers::Swmr<std::uint64_t, registers::MutexStorage<std::uint64_t>>
+        reg(space, 1, 0, "m");
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> reads{0};
     std::thread writer([&] {
@@ -166,7 +170,8 @@ double verify_latency(bool backoff) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "ablation");
   bench::heading("T10a — register substrate read throughput (Mops/s, "
                  "1 writer + 3 readers, 50 ms)");
   const SubstrateResult sub = substrate();
@@ -174,6 +179,8 @@ int main() {
   ta.add_row({"mutex Swmr", util::Table::num(sub.mutex_mops)});
   ta.add_row({"seqlock", util::Table::num(sub.seqlock_mops)});
   ta.print();
+  report.metric("ablation.substrate.mutex_mops_per_s", sub.mutex_mops);
+  report.metric("ablation.substrate.seqlock_mops_per_s", sub.seqlock_mops);
 
   bench::heading("T10b — relay violations over 150 verifies of a SIGNED "
                  "value under f vote-flip colluders (paper loop must be 0)");
@@ -189,9 +196,13 @@ int main() {
   tb.print();
 
   bench::heading("T10c — helper idle backoff (n=7, f=2)");
+  const double backoff_on = verify_latency(true);
+  const double backoff_off = verify_latency(false);
   util::Table tc({"idle backoff", "verify median us"});
-  tc.add_row({"on", util::Table::num(verify_latency(true))});
-  tc.add_row({"off", util::Table::num(verify_latency(false))});
+  tc.add_row({"on", util::Table::num(backoff_on)});
+  tc.add_row({"off", util::Table::num(backoff_off)});
   tc.print();
+  report.metric("ablation.backoff_on_verify_us", backoff_on);
+  report.metric("ablation.backoff_off_verify_us", backoff_off);
   return 0;
 }

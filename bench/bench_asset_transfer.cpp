@@ -2,6 +2,7 @@
 // n>3f) vs signed-certificate broadcast (n>2f).
 #include <thread>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "broadcast/reliable_broadcast.hpp"
 #include "registers/space.hpp"
@@ -54,11 +55,13 @@ Row run(RB& rb, int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "asset_transfer");
   bench::heading("T12 — asset transfer latency (median us)");
   util::Table table({"n", "f", "backend", "transfer", "balance query"});
   for (int n : {4, 7, 10}) {
     const int f = max_f(n);
+    const std::string tag = "transfer.n" + std::to_string(n);
     {
       runtime::FreeStepController ctrl;
       registers::Space space(ctrl);
@@ -67,6 +70,8 @@ int main() {
       table.add_row({util::Table::num(n), util::Table::num(f),
                      "sticky (sig-free)", util::Table::num(r.transfer_us),
                      util::Table::num(r.balance_us)});
+      report.metric(tag + ".sticky_transfer_us", r.transfer_us);
+      report.metric(tag + ".sticky_balance_us", r.balance_us);
     }
     {
       runtime::FreeStepController ctrl;
@@ -78,6 +83,8 @@ int main() {
       table.add_row({"", "", "signed (n>2f)",
                      util::Table::num(r.transfer_us),
                      util::Table::num(r.balance_us)});
+      report.metric(tag + ".signed_transfer_us", r.transfer_us);
+      report.metric(tag + ".signed_balance_us", r.balance_us);
     }
   }
   table.print();

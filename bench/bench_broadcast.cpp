@@ -8,6 +8,7 @@
 // scale); signed broadcast shifts cost into signing/verifying.
 #include <thread>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "broadcast/reliable_broadcast.hpp"
 #include "msgpass/witness_broadcast.hpp"
@@ -82,17 +83,24 @@ double witness_msgpass(int n, int f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "broadcast");
   bench::heading(
       "T7 — broadcast->first-delivery latency (median us over 8 messages)");
   util::Table table({"n", "f", "sticky (regs, n>3f)", "signed (regs, n>2f)",
                      "witness bcast (msgs, n>3f)"});
   for (int n : {4, 7, 10}) {
     const int f = max_f(n);
+    const double sticky_us = sticky_backend(n, f);
+    const double signed_us = signed_backend(n, f);
+    const double witness_us = witness_msgpass(n, f);
     table.add_row({util::Table::num(n), util::Table::num(f),
-                   util::Table::num(sticky_backend(n, f)),
-                   util::Table::num(signed_backend(n, f)),
-                   util::Table::num(witness_msgpass(n, f))});
+                   util::Table::num(sticky_us), util::Table::num(signed_us),
+                   util::Table::num(witness_us)});
+    const std::string tag = "broadcast.n" + std::to_string(n);
+    report.metric(tag + ".sticky_us", sticky_us);
+    report.metric(tag + ".signed_us", signed_us);
+    report.metric(tag + ".witness_us", witness_us);
   }
   table.print();
   return 0;

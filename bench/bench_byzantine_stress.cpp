@@ -8,6 +8,7 @@
 #include <set>
 #include <thread>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "byzantine/behaviors.hpp"
 #include "core/system.hpp"
@@ -104,7 +105,8 @@ double eraser_writer(int n, int f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "byzantine_stress");
   bench::heading(
       "T4 — Verify(42) median us under adversaries (value signed; relay "
       "must hold in every column)");
@@ -112,11 +114,18 @@ int main() {
                      "eraser writer"});
   for (int n : {4, 7, 10, 13}) {
     const int f = max_f(n);
+    const double ff = fault_free(n, f);
+    const double si = silent(n, f);
+    const double vf = vote_flip(n, f);
+    const double er = eraser_writer(n, f);
     table.add_row({util::Table::num(n), util::Table::num(f),
-                   util::Table::num(fault_free(n, f)),
-                   util::Table::num(silent(n, f)),
-                   util::Table::num(vote_flip(n, f)),
-                   util::Table::num(eraser_writer(n, f))});
+                   util::Table::num(ff), util::Table::num(si),
+                   util::Table::num(vf), util::Table::num(er)});
+    const std::string tag = "byz.n" + std::to_string(n);
+    report.metric(tag + ".fault_free_us", ff);
+    report.metric(tag + ".silent_us", si);
+    report.metric(tag + ".vote_flip_us", vf);
+    report.metric(tag + ".eraser_us", er);
   }
   table.print();
   return 0;

@@ -2,14 +2,16 @@
 // baseline registers (so T1-T3 comparisons can be interpreted).
 #include <string>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
 #include "runtime/process.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace swsig;
+  bench::Reporter report(argc, argv, "crypto");
 
   bench::heading("T11a — SHA-256 throughput");
   util::Table ta({"message size", "us/op", "MB/s"});
@@ -21,6 +23,7 @@ int main() {
             .median();
     ta.add_row({std::to_string(size) + " B", util::Table::num(us),
                 util::Table::num(static_cast<double>(size) / us, 1)});
+    report.metric("crypto.sha256." + std::to_string(size) + "B_us", us);
   }
   ta.print();
 
@@ -53,6 +56,9 @@ int main() {
         bench::sample_latency(500, [&] { auth.verify(msg, sig); }).median();
     tc.add_row({pk ? "slow-PK (64x)" : "HMAC", util::Table::num(sign_us),
                 util::Table::num(verify_us)});
+    const std::string tag = pk ? "crypto.pk" : "crypto.hmac";
+    report.metric(tag + ".sign_us", sign_us);
+    report.metric(tag + ".verify_us", verify_us);
   }
   tc.print();
   return 0;

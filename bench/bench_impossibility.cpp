@@ -5,11 +5,13 @@
 // (Test=1 followed by Test'=0 between correct testers) in EVERY trial when
 // 3 <= n <= 3f, and in NO trial when n > 3f. This is the executable form
 // of the impossibility proof — a 100%/0% split at the exact boundary.
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "byzantine/reset_attack.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace swsig;
+  bench::Reporter report(argc, argv, "impossibility");
   constexpr int kTrials = 25;
 
   bench::heading(
@@ -35,6 +37,9 @@ int main() {
          impossible_regime ? "n <= 3f (impossible)" : "n > 3f (safe)",
          util::Table::num(first_ok), util::Table::num(violations),
          util::Table::num(100.0 * violations / kTrials, 0) + "%"});
+    report.metric("impossibility.n" + std::to_string(cfg.n) + "f" +
+                      std::to_string(cfg.f) + ".violation_rate",
+                  static_cast<double>(violations) / kTrials);
   }
   table.print();
   return 0;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "core/verifiable_register.hpp"
 #include "msgpass/emulated_swmr.hpp"
@@ -82,7 +83,8 @@ double full_stack_verify(int n, int f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "msgpass");
   bench::heading("T9 — SWMR register emulation over message passing");
   util::Table table({"n", "f", "write us", "msgs/write", "read us",
                      "msgs/read"});
@@ -94,6 +96,10 @@ int main() {
                    util::Table::num(r.msgs_per_write, 1),
                    util::Table::num(r.read_us),
                    util::Table::num(r.msgs_per_read, 1)});
+    const std::string tag = "msgpass.n" + std::to_string(n);
+    report.metric(tag + ".write_us", r.write_us);
+    report.metric(tag + ".read_us", r.read_us);
+    report.metric(tag + ".msgs_per_write", r.msgs_per_write);
   }
   table.print();
 
@@ -104,5 +110,6 @@ int main() {
   const double us = full_stack_verify(4, 1);
   stack.add_row({"4", "1", util::Table::num(us)});
   stack.print();
+  report.metric("msgpass.fullstack.n4.verify_us", us);
   return 0;
 }

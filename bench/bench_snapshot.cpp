@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "runtime/process.hpp"
 #include "snapshot/snapshot.hpp"
@@ -63,7 +64,8 @@ Row run(int n, int f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "snapshot");
   bench::heading("T8 — snapshot latency (median us over 60 ops)");
   util::Table table(
       {"n", "f", "update", "scan (idle)", "scan (under churn)"});
@@ -74,6 +76,10 @@ int main() {
                    util::Table::num(r.update_us),
                    util::Table::num(r.scan_idle_us),
                    util::Table::num(r.scan_churn_us)});
+    const std::string tag = "snapshot.n" + std::to_string(n);
+    report.metric(tag + ".update_us", r.update_us);
+    report.metric(tag + ".scan_idle_us", r.scan_idle_us);
+    report.metric(tag + ".scan_churn_us", r.scan_churn_us);
   }
   table.print();
   return 0;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "core/system.hpp"
 #include "core/test_or_set.hpp"
@@ -64,7 +65,8 @@ Measured run(int n, int f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "testorset");
   bench::heading("T6 — test-or-set latency per backend (us)");
   util::Table table({"n", "f", "backend", "Test (unset)", "Set",
                      "Test (set)"});
@@ -76,6 +78,10 @@ int main() {
                        core::AuthenticatedRegister<int>::Config>(n, f);
     const auto s = run<core::TestOrSetFromSticky,
                        core::StickyRegister<int>::Config>(n, f);
+    const std::string tag = "testorset.n" + std::to_string(n);
+    report.metric(tag + ".verifiable_set_us", v.set_us);
+    report.metric(tag + ".authenticated_set_us", a.set_us);
+    report.metric(tag + ".sticky_set_us", s.set_us);
     table.add_row({util::Table::num(n), util::Table::num(f), "verifiable",
                    util::Table::num(v.test_unset_us),
                    util::Table::num(v.set_us),

@@ -7,6 +7,7 @@
 // reproduction target.
 #include <cstdint>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "core/authenticated_register.hpp"
 #include "core/system.hpp"
@@ -42,9 +43,14 @@ Row run(int n) {
       r.write(42);
       r.sign(42);
     });
+    // Warm up outside the metrics window so steps/op divides exactly the
+    // kIters sampled verifies (sample_latency runs with warmup=0 below).
+    sys.as(2, [&](Reg& r) {
+      for (int i = 0; i < 30; ++i) r.verify(42);
+    });
     const auto before = sys.metrics().snapshot();
     const auto samples = sys.as(2, [&](Reg& r) {
-      return bench::sample_latency(kIters, [&] { r.verify(42); });
+      return bench::sample_latency(kIters, [&] { r.verify(42); }, 0);
     });
     const auto delta = sys.metrics().snapshot().delta(before);
     row.verifiable_us = samples.median();
@@ -90,7 +96,8 @@ Row run(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "verify_latency");
   bench::heading(
       "T1 — Verify latency vs n (median us over 300 calls, fault-free)");
   util::Table table({"n", "f", "verifiable us", "steps/op",
@@ -103,6 +110,11 @@ int main() {
                    util::Table::num(r.authenticated_us),
                    util::Table::num(r.signed_hmac_us),
                    util::Table::num(r.signed_pk_us)});
+    const std::string tag = "verify.n" + std::to_string(n);
+    report.metric(tag + ".verifiable_us", r.verifiable_us);
+    report.metric(tag + ".verifiable_steps_per_op", r.verifiable_steps);
+    report.metric(tag + ".authenticated_us", r.authenticated_us);
+    report.metric(tag + ".signed_hmac_us", r.signed_hmac_us);
   }
   table.print();
   return 0;

@@ -7,6 +7,7 @@
 // signed baselines pay one signature per Sign/Write.
 #include <cstdint>
 
+#include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "core/authenticated_register.hpp"
 #include "core/sticky_register.hpp"
@@ -91,19 +92,27 @@ double bench_signed_write_sign(int n, int f, bool pk) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "write_sign");
   bench::heading("T2 — Write/Sign latency vs n (median us)");
   util::Table table({"n", "f", "verif write", "verif sign", "auth write",
                      "sticky write", "signed w+s HMAC", "signed w+s PK"});
   for (int n : {4, 7, 10, 13, 16, 25}) {
     const int f = max_f(n);
+    const double vw = bench_verifiable_write(n, f);
+    const double vs = bench_verifiable_sign(n, f);
+    const double aw = bench_authenticated_write(n, f);
+    const double sw = bench_sticky_write(n, f);
     table.add_row({util::Table::num(n), util::Table::num(f),
-                   util::Table::num(bench_verifiable_write(n, f)),
-                   util::Table::num(bench_verifiable_sign(n, f)),
-                   util::Table::num(bench_authenticated_write(n, f)),
-                   util::Table::num(bench_sticky_write(n, f)),
+                   util::Table::num(vw), util::Table::num(vs),
+                   util::Table::num(aw), util::Table::num(sw),
                    util::Table::num(bench_signed_write_sign(n, f, false)),
                    util::Table::num(bench_signed_write_sign(n, f, true))});
+    const std::string tag = "write.n" + std::to_string(n);
+    report.metric(tag + ".verifiable_write_us", vw);
+    report.metric(tag + ".verifiable_sign_us", vs);
+    report.metric(tag + ".authenticated_write_us", aw);
+    report.metric(tag + ".sticky_write_us", sw);
   }
   table.print();
   return 0;

@@ -1,7 +1,9 @@
 // Shared helpers for the benchmark binaries. Every bench prints markdown
-// tables whose shape matches the per-experiment index in EXPERIMENTS.md.
+// tables whose shape matches the per-experiment index in EXPERIMENTS.md,
+// and (via bench/baseline.hpp) dumps machine-readable metrics with --json.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -28,12 +30,36 @@ double time_us(F&& fn) {
   return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
-// Per-iteration latency samples.
+// Per-iteration latency samples. Runs an untimed warmup batch first so
+// cold-start effects (cache misses, lazy page faults, branch training) do
+// not skew the sampled distribution; warmup < 0 picks a default of 10% of
+// the iteration count (at least 8).
 template <typename F>
-util::Samples sample_latency(int iterations, F&& fn) {
+util::Samples sample_latency(int iterations, F&& fn, int warmup = -1) {
+  if (warmup < 0) warmup = std::max(8, iterations / 10);
+  for (int i = 0; i < warmup; ++i) fn();
   util::Samples samples;
   for (int i = 0; i < iterations; ++i) samples.add(time_us(fn));
   return samples;
+}
+
+// Summary of a latency distribution: mean with tail percentiles, so tables
+// report p50/p99 alongside the mean instead of a bare median.
+struct LatencySummary {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+inline LatencySummary summarize(const util::Samples& samples) {
+  return {samples.mean(), samples.percentile(50.0), samples.percentile(99.0)};
+}
+
+// "mean/p50/p99" cell for latency tables.
+inline std::string latency_cell(const LatencySummary& s, int precision = 2) {
+  return util::Table::num(s.mean, precision) + "/" +
+         util::Table::num(s.p50, precision) + "/" +
+         util::Table::num(s.p99, precision);
 }
 
 // Largest f the algorithms tolerate at this n (n > 3f).

@@ -34,6 +34,7 @@
 
 #include "core/sticky_register.hpp"
 #include "core/types.hpp"
+#include "core/version_gate.hpp"
 #include "crypto/signer.hpp"
 #include "registers/space.hpp"
 #include "runtime/process.hpp"
@@ -66,7 +67,7 @@ class StickyReliableBroadcast final : public ReliableBroadcast {
   };
 
   StickyReliableBroadcast(registers::Space& space, Config config)
-      : cfg_(config) {
+      : space_(&space), cfg_(config), epoch_gate_(config.n) {
     core::check_resilience(cfg_.n, cfg_.f);
     slots_.resize(static_cast<std::size_t>(cfg_.n) + 1);
     for (int sender = 1; sender <= cfg_.n; ++sender) {
@@ -90,10 +91,19 @@ class StickyReliableBroadcast final : public ReliableBroadcast {
 
   bool help_round() override {
     const int self = runtime::ThisProcess::id();
+    // Version-gated wakeup (free mode): every event that can create helping
+    // work (a broadcast, an echo, a reader's round bump) is a register
+    // write in this space, so an unchanged space-wide write epoch since our
+    // last completed round means all n × max_broadcasts slot rounds would
+    // be no-ops — skip them.
+    const bool gate = space_->free_mode();
+    std::uint64_t epoch = 0;
+    if (gate && !epoch_gate_.changed(*space_, self, epoch)) return false;
     bool any = false;
     for (int sender = 1; sender <= cfg_.n; ++sender)
       for (auto& s : slots_[static_cast<std::size_t>(sender)])
         any |= s->help(self);
+    if (gate) epoch_gate_.record(self, epoch);
     return any;
   }
 
@@ -148,8 +158,10 @@ class StickyReliableBroadcast final : public ReliableBroadcast {
                   [static_cast<std::size_t>(seq)];
   }
 
+  registers::Space* space_;
   Config cfg_;
   std::vector<std::vector<std::unique_ptr<Slot>>> slots_;
+  core::detail::SpaceEpochGate epoch_gate_;
 };
 
 // --------------------------------------------------------------- signed
@@ -181,7 +193,8 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
   SignedReliableBroadcast(registers::Space& space,
                           const crypto::SignatureAuthority& authority,
                           Config config)
-      : auth_(&authority), cfg_(config) {
+      : space_(&space), auth_(&authority), cfg_(config),
+        epoch_gate_(config.n) {
     if (cfg_.n <= 2 * cfg_.f)
       throw std::invalid_argument("signed broadcast needs n > 2f");
     publish_.resize(static_cast<std::size_t>(cfg_.n) + 1);
@@ -258,6 +271,11 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
   // Helper: acknowledge the first valid signed value seen per slot.
   bool help_round() override {
     const int self = runtime::ThisProcess::id();
+    // Same space-epoch skip as the sticky backend: a new publishable record
+    // always arrives as a register write.
+    const bool gate = space_->free_mode();
+    std::uint64_t epoch = 0;
+    if (gate && !epoch_gate_.changed(*space_, self, epoch)) return false;
     bool progress = false;
     for (int sender = 1; sender <= cfg_.n; ++sender) {
       for (int seq = 0; seq < cfg_.max_broadcasts; ++seq) {
@@ -276,6 +294,7 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
         progress = true;
       }
     }
+    if (gate) epoch_gate_.record(self, epoch);
     return progress;
   }
 
@@ -305,11 +324,13 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
     return good >= cfg_.n - cfg_.f;
   }
 
+  registers::Space* space_;
   const crypto::SignatureAuthority* auth_;
   Config cfg_;
   std::vector<std::vector<registers::Swmr<Record>*>> publish_;
   std::vector<registers::Swmr<AckMap>*> acks_;
   std::vector<registers::Swmr<RelayMap>*> relays_;
+  core::detail::SpaceEpochGate epoch_gate_;
 };
 
 }  // namespace swsig::broadcast

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "core/version_gate.hpp"
 #include "registers/space.hpp"
 #include "runtime/process.hpp"
 
@@ -47,6 +49,16 @@ class AuthenticatedRegister {
   using Stamped = std::pair<SeqNo, V>;       // ⟨ℓ, v⟩
   using StampedSet = std::set<Stamped>;      // contents of R_1
   using HelpTuple = std::pair<ValueSet, RoundCounter>;  // ⟨r_j, c_j⟩
+  using ChannelCache = detail::VersionedCache<HelpTuple>;
+
+  // See VerifiableRegister::kVersionGate — free-mode fast paths, compiled
+  // out for substrates without versions.
+  static constexpr bool kVersionGate =
+      requires(SpaceT& s, SwsrT<HelpTuple>& c, SwmrT<RoundCounter>& r) {
+        { s.free_mode() } -> std::convertible_to<bool>;
+        { c.version() } -> std::convertible_to<std::uint64_t>;
+        { r.version() } -> std::convertible_to<std::uint64_t>;
+      };
 
   struct Config {
     int n = 4;
@@ -111,10 +123,13 @@ class AuthenticatedRegister {
     return cfg_.v0;  // L9
   }
 
-  // Verify(v) — L10-23; identical mechanism to Algorithm 1's L11-24.
+  // Verify(v) — L10-23; identical mechanism to Algorithm 1's L11-24,
+  // including the free-mode cached channel collection (see
+  // VerifiableRegister::verify).
   bool verify(const V& v) {
     const int k = require_reader("Verify");
     std::set<int> set0, set1;  // L10
+    ChannelCache cache(fast_path() ? cfg_.n : 0);
     for (;;) {                 // L11
       const RoundCounter ck =
           round_[k]->update([](RoundCounter& c) { ++c; });  // L12
@@ -123,6 +138,15 @@ class AuthenticatedRegister {
       while (chosen == 0) {  // L13-16
         for (int j = 1; j <= cfg_.n; ++j) {
           if (set0.contains(j) || set1.contains(j)) continue;
+          if (cache.enabled()) {
+            const HelpTuple& t = cache.fetch(j, *channel_[j][k]);
+            if (t.second >= ck) {
+              chosen = j;
+              chosen_tuple = t;
+              break;
+            }
+            continue;
+          }
           HelpTuple t = channel_[j][k]->read();  // L15
           if (t.second >= ck && chosen == 0) {   // L16
             chosen = j;
@@ -153,13 +177,26 @@ class AuthenticatedRegister {
       throw std::logic_error("Help requires a thread bound to p1..pn");
     HelpState& hs = help_state_[static_cast<std::size_t>(j)];
 
+    // Version-gated wakeup (free mode): unchanged round-counter versions
+    // mean no new askers — skip without a metered read (see
+    // VerifiableRegister::help_round).
+    const bool gate = fast_path();
+    std::uint64_t agg = 0;
+    if (gate) {
+      for (int k = 2; k <= cfg_.n; ++k) agg += round_version(k);
+      if (hs.agg_valid && agg == hs.round_agg) return false;
+    }
+
     // L26-27: find askers.
     std::map<int, RoundCounter> ck;
     for (int k = 2; k <= cfg_.n; ++k) ck[k] = round_[k]->read();
     std::vector<int> askers;
     for (int k = 2; k <= cfg_.n; ++k)
       if (ck[k] > hs.prev_ck[k]) askers.push_back(k);
-    if (askers.empty()) return false;  // L28
+    if (askers.empty()) {  // L28
+      if (gate) hs.record_agg(agg);
+      return false;
+    }
 
     // L29-30: r1 = values the writer has written (stamps stripped).
     const StampedSet r = writer_set_->read();
@@ -198,6 +235,7 @@ class AuthenticatedRegister {
       channel_[j][k]->write({rj, ck[k]});  // L37
       hs.prev_ck[k] = ck[k];               // L38
     }
+    if (gate) hs.record_agg(agg);
     return true;
   }
 
@@ -213,7 +251,27 @@ class AuthenticatedRegister {
  private:
   struct HelpState {
     std::map<int, RoundCounter> prev_ck;  // L24
+    std::uint64_t round_agg = 0;  // aggregate version at last completed round
+    bool agg_valid = false;
+    void record_agg(std::uint64_t agg) {
+      round_agg = agg;
+      agg_valid = true;
+    }
   };
+
+  bool fast_path() const {
+    if constexpr (kVersionGate)
+      return space_->free_mode();
+    else
+      return false;
+  }
+
+  std::uint64_t round_version(int k) const {
+    if constexpr (kVersionGate)
+      return round_[static_cast<std::size_t>(k)]->version();
+    else
+      return 0;
+  }
 
   void require_self(int pid, const char* op) const {
     if (runtime::ThisProcess::id() != pid)

@@ -18,6 +18,7 @@
 // design notes 1-5).
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "core/version_gate.hpp"
 #include "registers/space.hpp"
 #include "runtime/process.hpp"
 
@@ -46,6 +48,18 @@ class StickyRegister {
   using Value = V;
   using Slot = std::optional<V>;  // ⊥ is std::nullopt
   using HelpTuple = std::pair<Slot, RoundCounter>;  // ⟨u_j, c_j⟩
+  using ChannelCache = detail::VersionedCache<HelpTuple>;
+
+  // See VerifiableRegister::kVersionGate — free-mode fast paths, compiled
+  // out for substrates without versions.
+  static constexpr bool kVersionGate =
+      requires(SpaceT& s, SwsrT<HelpTuple>& c, SwmrT<Slot>& e,
+               SwmrT<RoundCounter>& r) {
+        { s.free_mode() } -> std::convertible_to<bool>;
+        { c.version() } -> std::convertible_to<std::uint64_t>;
+        { e.version() } -> std::convertible_to<std::uint64_t>;
+        { r.version() } -> std::convertible_to<std::uint64_t>;
+      };
 
   struct Config {
     int n = 4;
@@ -88,10 +102,14 @@ class StickyRegister {
     require_self(1, "Write");
     if (echo_[1]->read().has_value()) return;  // L1: already wrote once
     echo_[1]->write(Slot{v});                  // L2: E1 <- v
+    // Free mode: re-read only witness slots whose version moved while
+    // awaiting the quorum (observationally equivalent, fewer metered reads).
+    detail::VersionedCache<Slot> cache(fast_path() ? cfg_.n : 0);
     for (;;) {                                 // L3-5: await n−f witnesses
       int count = 0;
       for (int i = 1; i <= cfg_.n; ++i) {
-        const Slot ri = witness_[i]->read();   // L4
+        const Slot ri = cache.enabled() ? cache.fetch(i, *witness_[i])
+                                        : witness_[i]->read();  // L4
         if (ri.has_value() && *ri == v) ++count;
       }
       if (count >= cfg_.n - cfg_.f) return;    // L5-6
@@ -107,6 +125,8 @@ class StickyRegister {
     const int k = require_reader("Read");
     std::set<int> set_bot;       // set⊥  — L7
     std::map<int, V> setval;     // setval as pj -> value
+    // Free-mode cached channel collection — see VerifiableRegister::verify.
+    ChannelCache cache(fast_path() ? cfg_.n : 0);
     for (;;) {                   // L8
       const RoundCounter ck =
           round_[k]->update([](RoundCounter& c) { ++c; });  // L9
@@ -117,6 +137,15 @@ class StickyRegister {
       while (chosen == 0) {
         for (int j = 1; j <= cfg_.n; ++j) {
           if (set_bot.contains(j) || setval.contains(j)) continue;
+          if (cache.enabled()) {
+            const HelpTuple& t = cache.fetch(j, *channel_[j][k]);
+            if (t.second >= ck) {
+              chosen = j;
+              chosen_tuple = t;
+              break;
+            }
+            continue;
+          }
           HelpTuple t = channel_[j][k]->read();  // L13
           if (t.second >= ck && chosen == 0) {   // L14
             chosen = j;
@@ -150,6 +179,23 @@ class StickyRegister {
       throw std::logic_error("Help requires a thread bound to p1..pn");
     HelpState& hs = help_state_[static_cast<std::size_t>(j)];
 
+    // Version-gated wakeup (free mode). Unlike Algorithms 1-2, the sticky
+    // helper does echo/witness work (L25-30) even without askers, so the
+    // aggregate covers every input register of the round: echoes, witness
+    // slots, and round counters. If none changed since our last completed
+    // round, re-running the round would repeat the identical decisions and
+    // writes we already made — skip it. Our own writes during a round bump
+    // the aggregate, which costs at most one extra (idle) round before the
+    // state quiesces.
+    const bool gate = fast_path();
+    std::uint64_t agg = 0;
+    if (gate) {
+      for (int i = 1; i <= cfg_.n; ++i)
+        agg += slot_version(echo_, i) + slot_version(witness_, i);
+      for (int k = 2; k <= cfg_.n; ++k) agg += round_version(k);
+      if (hs.agg_valid && agg == hs.round_agg) return false;
+    }
+
     // L25-27: echo the first value seen in E1. The conditional update keeps
     // this race-free against p1's own Write (see Swmr::update).
     if (!echo_[j]->read().has_value()) {
@@ -182,7 +228,10 @@ class StickyRegister {
     std::vector<int> askers;
     for (int k = 2; k <= cfg_.n; ++k)
       if (ck[k] > hs.prev_ck[k]) askers.push_back(k);
-    if (askers.empty()) return false;  // L33
+    if (askers.empty()) {  // L33
+      if (gate) hs.record_agg(agg);
+      return false;
+    }
 
     // L34-36: second chance to witness, via f+1 matching witnesses.
     if (!witness_[j]->read().has_value()) {
@@ -207,6 +256,7 @@ class StickyRegister {
       channel_[j][k]->write({rj, ck[k]});  // L39
       hs.prev_ck[k] = ck[k];               // L40
     }
+    if (gate) hs.record_agg(agg);
     return true;
   }
 
@@ -222,7 +272,35 @@ class StickyRegister {
  private:
   struct HelpState {
     std::map<int, RoundCounter> prev_ck;  // L23
+    std::uint64_t round_agg = 0;  // aggregate version at last completed round
+    bool agg_valid = false;
+    void record_agg(std::uint64_t agg) {
+      round_agg = agg;
+      agg_valid = true;
+    }
   };
+
+  bool fast_path() const {
+    if constexpr (kVersionGate)
+      return space_->free_mode();
+    else
+      return false;
+  }
+
+  std::uint64_t round_version(int k) const {
+    if constexpr (kVersionGate)
+      return round_[static_cast<std::size_t>(k)]->version();
+    else
+      return 0;
+  }
+
+  std::uint64_t slot_version(const std::vector<SwmrT<Slot>*>& regs,
+                             int i) const {
+    if constexpr (kVersionGate)
+      return regs[static_cast<std::size_t>(i)]->version();
+    else
+      return 0;
+  }
 
   void require_self(int pid, const char* op) const {
     if (runtime::ThisProcess::id() != pid)

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <set>
@@ -35,8 +36,9 @@ struct HelperOptions {
   // Processes whose honest helper must NOT run (crashed processes, or
   // Byzantine ones replaced by a custom behavior).
   std::set<runtime::ProcessId> exclude;
-  // Sleep briefly after consecutive idle rounds (free mode politeness);
-  // disable for latency-sensitive benchmarks at the cost of busy helpers.
+  // Park idle helpers on the space's write-epoch condvar after consecutive
+  // idle rounds (a writer's notify wakes them); disable for
+  // latency-sensitive benchmarks at the cost of busy helpers.
   bool idle_backoff = true;
 };
 
@@ -91,13 +93,20 @@ class FreeSystem {
         runtime::ThisProcess::Binder bind(pid);
         int idle_streak = 0;
         while (!st.stop_requested()) {
+          // Epoch sampled before the round: a write landing while we help
+          // makes the park below return immediately instead of sleeping.
+          const std::uint64_t epoch = space_.write_epoch();
           const bool active = alg_.help_round();
           if (active) {
             idle_streak = 0;
           } else if (backoff) {
             ++idle_streak;
             if (idle_streak > 64) {
-              std::this_thread::sleep_for(std::chrono::microseconds(50));
+              // Version-gated wakeup: park until some register in the
+              // space is written (writers notify) instead of busy-polling.
+              // The timeout bounds stop-request latency.
+              space_.wait_write_epoch(epoch,
+                                      std::chrono::microseconds(1000));
             } else {
               std::this_thread::yield();
             }

@@ -21,6 +21,7 @@
 // design notes 1-5).
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "core/version_gate.hpp"
 #include "registers/space.hpp"
 #include "runtime/process.hpp"
 
@@ -50,6 +52,17 @@ class VerifiableRegister {
   using ValueSet = std::set<V>;
   // ⟨r_j, c_j⟩ tuple stored in the helping channels R_jk.
   using HelpTuple = std::pair<ValueSet, RoundCounter>;
+  using ChannelCache = detail::VersionedCache<HelpTuple>;
+
+  // The free-mode fast paths (version-gated helper wakeup, cached channel
+  // collection) need per-register versions and a free_mode() flag from the
+  // substrate; compiled out for substrates without them (msgpass).
+  static constexpr bool kVersionGate =
+      requires(SpaceT& s, SwsrT<HelpTuple>& c, SwmrT<RoundCounter>& r) {
+        { s.free_mode() } -> std::convertible_to<bool>;
+        { c.version() } -> std::convertible_to<std::uint64_t>;
+        { r.version() } -> std::convertible_to<std::uint64_t>;
+      };
 
   struct Config {
     int n = 4;          // total number of processes p1..pn
@@ -114,9 +127,17 @@ class VerifiableRegister {
   // Verify(v) — L11-24. Caller must be bound as a reader p2..pn.
   // Termination relies on helper threads running help_round() for all
   // correct processes (Theorem 43).
+  //
+  // Free-mode fast path: the wait loop caches each helping channel's last
+  // ⟨tuple, version⟩ and only re-reads a channel whose version changed —
+  // an unchanged version means a fresh read would return the same tuple,
+  // so skipping it is observationally equivalent while collapsing the
+  // O(n)-reads-per-retry spin to O(changed). Deterministic mode keeps the
+  // paper-literal re-read loop (the step sequence must be reproducible).
   bool verify(const V& v) {
     const int k = require_reader("Verify");
     std::set<int> set0, set1;  // L11
+    ChannelCache cache(fast_path() ? cfg_.n : 0);
     for (;;) {                 // L12: while true
       // L13: Ck <- Ck + 1 (single owner step; see Swmr::update).
       const RoundCounter ck =
@@ -129,6 +150,15 @@ class VerifiableRegister {
       while (chosen == 0) {
         for (int j = 1; j <= cfg_.n; ++j) {
           if (set0.contains(j) || set1.contains(j)) continue;
+          if (cache.enabled()) {
+            const HelpTuple& t = cache.fetch(j, *channel_[j][k]);
+            if (t.second >= ck) {
+              chosen = j;
+              chosen_tuple = t;
+              break;
+            }
+            continue;
+          }
           HelpTuple t = channel_[j][k]->read();  // L16
           if (t.second >= ck && chosen == 0) {   // L17 (∃ p_j: c_j >= Ck)
             chosen = j;
@@ -160,6 +190,19 @@ class VerifiableRegister {
     require_valid_pid(j, "Help");
     HelpState& hs = help_state_[static_cast<std::size_t>(j)];
 
+    // Version-gated wakeup (free mode): new work for a helper can only
+    // arrive through a reader's round counter, so if the sum of the round
+    // counters' versions is unchanged since our last completed round, L28's
+    // asker set is empty — skip the O(n) collection without a single
+    // metered read. The aggregate is sampled before the reads below, so a
+    // counter bumped mid-round is picked up on the next call.
+    const bool gate = fast_path();
+    std::uint64_t agg = 0;
+    if (gate) {
+      for (int k = 2; k <= cfg_.n; ++k) agg += round_version(k);
+      if (hs.agg_valid && agg == hs.round_agg) return false;
+    }
+
     // L27: read every reader's round counter.
     std::map<int, RoundCounter> ck;
     for (int k = 2; k <= cfg_.n; ++k) ck[k] = round_[k]->read();
@@ -167,7 +210,10 @@ class VerifiableRegister {
     std::vector<int> askers;
     for (int k = 2; k <= cfg_.n; ++k)
       if (ck[k] > hs.prev_ck[k]) askers.push_back(k);
-    if (askers.empty()) return false;  // L29
+    if (askers.empty()) {  // L29
+      if (gate) hs.record_agg(agg);
+      return false;
+    }
 
     // L30: read every witness register.
     std::vector<ValueSet> r(static_cast<std::size_t>(cfg_.n) + 1);
@@ -196,6 +242,7 @@ class VerifiableRegister {
       channel_[j][k]->write({rj, ck[k]});  // L35
       hs.prev_ck[k] = ck[k];               // L36
     }
+    if (gate) hs.record_agg(agg);
     return true;
   }
 
@@ -216,7 +263,30 @@ class VerifiableRegister {
  private:
   struct HelpState {
     std::map<int, RoundCounter> prev_ck;  // L25 (defaults to 0)
+    // Aggregate round-counter version at the last completed help round.
+    std::uint64_t round_agg = 0;
+    bool agg_valid = false;
+    void record_agg(std::uint64_t agg) {
+      round_agg = agg;
+      agg_valid = true;
+    }
   };
+
+  // True when the version-gated fast paths may be used: substrate supports
+  // them (kVersionGate) and the space runs free-mode real concurrency.
+  bool fast_path() const {
+    if constexpr (kVersionGate)
+      return space_->free_mode();
+    else
+      return false;
+  }
+
+  std::uint64_t round_version(int k) const {
+    if constexpr (kVersionGate)
+      return round_[static_cast<std::size_t>(k)]->version();
+    else
+      return 0;
+  }
 
   void require_valid_pid(int pid, const char* op) const {
     if (pid < 1 || pid > cfg_.n)

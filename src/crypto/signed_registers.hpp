@@ -19,6 +19,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "core/version_gate.hpp"
 #include "crypto/signer.hpp"
 #include "registers/space.hpp"
 #include "runtime/process.hpp"
@@ -238,7 +240,8 @@ class SignedStickyRegister {
 
   SignedStickyRegister(registers::Space& space,
                        const SignatureAuthority& authority, Config config)
-      : authority_(&authority), cfg_(std::move(config)) {
+      : space_(&space), authority_(&authority), cfg_(std::move(config)),
+        epoch_gate_(cfg_.n) {
     core::check_resilience(cfg_.n, cfg_.f, cfg_.allow_suboptimal);
     publish_ = &space.make_swmr<Slot>(1, std::nullopt, "ss.pub");
     echo_.resize(static_cast<std::size_t>(cfg_.n) + 1, nullptr);
@@ -288,7 +291,15 @@ class SignedStickyRegister {
     const int j = runtime::ThisProcess::id();
     if (j < 1 || j > cfg_.n)
       throw std::logic_error("help_round requires a bound thread");
-    if (echo_[static_cast<std::size_t>(j)]->read().has_value()) return false;
+    // Version-gated wakeup (free mode): echo work only arises from a write
+    // to the publish register or another echo — both bump the space epoch.
+    const bool gate = space_->free_mode();
+    std::uint64_t epoch = 0;
+    if (gate && !epoch_gate_.changed(*space_, j, epoch)) return false;
+    if (echo_[static_cast<std::size_t>(j)]->read().has_value()) {
+      if (gate) epoch_gate_.record(j, epoch);
+      return false;
+    }
 
     Slot candidate = publish_->read();
     if (!(candidate.has_value() && candidate->sig.signer == 1 &&
@@ -312,10 +323,14 @@ class SignedStickyRegister {
         }
       }
     }
-    if (!candidate.has_value()) return false;
+    if (!candidate.has_value()) {
+      if (gate) epoch_gate_.record(j, epoch);
+      return false;
+    }
     echo_[static_cast<std::size_t>(j)]->update([&](Slot& e) {
       if (!e.has_value()) e = candidate;
     });
+    if (gate) epoch_gate_.record(j, epoch);
     return true;
   }
 
@@ -329,10 +344,12 @@ class SignedStickyRegister {
     return count;
   }
 
+  registers::Space* space_;
   const SignatureAuthority* authority_;
   Config cfg_;
   registers::Swmr<Slot>* publish_ = nullptr;
   std::vector<registers::Swmr<Slot>*> echo_;
+  core::detail::SpaceEpochGate epoch_gate_;
 };
 
 }  // namespace swsig::crypto

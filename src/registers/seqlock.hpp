@@ -1,17 +1,20 @@
 // Seqlock-based single-writer register for trivially copyable payloads.
 //
-// Ablation substrate for experiment T10a (mutex vs seqlock register cost).
-// Readers never block the writer; a read retries while a write is in flight.
-// The payload is stored as relaxed atomic words bracketed by acquire/release
-// fences on the sequence counter — the classic data-race-free seqlock recipe
-// (per C++ Core Guidelines CP.100 we only hand-roll this because measuring
-// it *is* the experiment).
+// Originally the ablation substrate for experiment T10a (mutex vs seqlock
+// register cost); now the default storage engine behind Swmr/Swsr for
+// trivially copyable payloads (registers/storage.hpp). Readers never block
+// the writer; a read retries while a write is in flight. The payload is
+// stored as relaxed atomic words bracketed by acquire/release fences on the
+// sequence counter — the classic data-race-free seqlock recipe (per C++
+// Core Guidelines CP.100 we only hand-roll this because measuring it *is*
+// the experiment).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <thread>
 #include <type_traits>
 
 namespace swsig::registers {
@@ -31,19 +34,33 @@ class SeqlockRegister {
     seq_.store(s + 2, std::memory_order_release);  // even: stable
   }
 
-  // Any number of readers.
+  // Any number of readers. A storming writer can keep the sequence odd or
+  // moving; after kSpinLimit raw retries the reader yields between attempts
+  // (bounded backoff) so it cannot monopolize the writer's core and still
+  // makes progress — every completed write leaves a stable even window.
   T read() const {
+    int spins = 0;
     for (;;) {
       const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
-      if (s1 & 1) continue;  // write in flight
-      T out = load_words();
-      std::atomic_thread_fence(std::memory_order_acquire);
-      const std::uint64_t s2 = seq_.load(std::memory_order_relaxed);
-      if (s1 == s2) return out;
+      if (!(s1 & 1)) {  // even: no write in flight
+        T out = load_words();
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t s2 = seq_.load(std::memory_order_relaxed);
+        if (s1 == s2) return out;
+      }
+      if (++spins > kSpinLimit) std::this_thread::yield();
     }
   }
 
+  // Number of completed writes; monotone. A changed version implies the
+  // stored value may differ; an unchanged version implies no write has
+  // completed since (a write in flight shows up once it completes).
+  std::uint64_t version() const {
+    return seq_.load(std::memory_order_acquire) >> 1;
+  }
+
  private:
+  static constexpr int kSpinLimit = 64;
   static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
 
   void unsafe_store(const T& v) { store_words(v); }

@@ -1,8 +1,25 @@
 // Register space: factory and home of all shared registers of one system
 // instance. Routes every access through the StepController (the asynchrony
 // model's preemption points), meters accesses, and enforces port ownership.
+//
+// Hot-path design (docs/ARCHITECTURE.md, "Storage engines & the free-mode
+// fast path"):
+//  * Storage is selected per payload type by RegisterStorage<T>: a seqlock
+//    (lock-free read side) for trivially copyable T, a mutex otherwise.
+//  * In free mode the step gate is devirtualized: Space caches whether its
+//    controller is a FreeStepController at construction, and before_read/
+//    before_write become a single relaxed fetch-add on a per-thread shard
+//    (the metered access doubles as the step count — the controller pulls
+//    the meters in steps()). Deterministic mode is byte-identical to the
+//    virtual path: every access still parks on StepController::step().
+//  * Every register carries a monotone version() (completed writes), and
+//    the Space keeps a write epoch + condvar so idle helpers can park until
+//    some register in the space is written (version-gated wakeup).
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -10,14 +27,15 @@
 
 #include "registers/errors.hpp"
 #include "registers/metrics.hpp"
+#include "registers/storage.hpp"
 #include "runtime/process.hpp"
 #include "runtime/step_controller.hpp"
 
 namespace swsig::registers {
 
-template <typename T>
+template <typename T, typename Storage = typename RegisterStorage<T>::type>
 class Swmr;
-template <typename T>
+template <typename T, typename Storage = typename RegisterStorage<T>::type>
 class Swsr;
 
 class Space {
@@ -26,9 +44,15 @@ class Space {
     kEnforcing,   // port violations throw PortViolation
     kPermissive,  // port checks disabled (micro-benchmarks only)
   };
+  enum class Dispatch {
+    kAuto,     // devirtualize the gate when the controller is free-mode
+    kVirtual,  // always dispatch through StepController::step() (the
+               // pre-optimization baseline; kept for benchmarks)
+  };
 
   explicit Space(runtime::StepController& controller,
-                 Enforcement mode = Enforcement::kEnforcing);
+                 Enforcement mode = Enforcement::kEnforcing,
+                 Dispatch dispatch = Dispatch::kAuto);
   ~Space();
 
   // Register-type aliases so algorithms can be parameterized over the
@@ -57,14 +81,60 @@ class Space {
   Metrics& metrics() { return metrics_; }
   bool enforcing() const { return mode_ == Enforcement::kEnforcing; }
 
-  // Gate + meter, called by registers on every access.
+  // True when accesses take the devirtualized free-mode fast path. The
+  // version-gated skip paths in the algorithms key off this: they are
+  // observationally equivalent but change the exact step sequence, so they
+  // must never run under a deterministic (or forced-virtual) controller.
+  bool free_mode() const { return free_ != nullptr; }
+
+  // Gate + meter, called by registers on every access. In free mode this
+  // is a single relaxed fetch-add on a per-thread shard: the metered access
+  // *is* the step (FreeStepController::steps() sums the meters).
   void before_read() {
-    controller_->step();
+    if (!free_) controller_->step();
     metrics_.on_read();
   }
   void before_write() {
-    controller_->step();
+    if (!free_) controller_->step();
     metrics_.on_write();
+  }
+
+  // ------------------------------------------------- write epoch / parking
+  // Bumped after every completed register write in this space; helpers park
+  // on it instead of busy-polling (core::FreeSystem). notify_write() is
+  // called by the registers post-store, so a waiter that observes a changed
+  // epoch also observes the written value.
+  std::uint64_t write_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  // Missed-wakeup safety is the classic store-load (Dekker) argument over
+  // the seq_cst total order: the notifier bumps the epoch then reads
+  // waiters_; the waiter raises waiters_ then reads the epoch (both
+  // predicate evaluations run under wait_mu_). Either the notifier's
+  // waiters_ read sees the raised count — then it takes wait_mu_ (i.e.
+  // serializes after the waiter's predicate check / atomically-released
+  // sleep) and notifies — or the waiter's epoch read is ordered after the
+  // bump and sees the new epoch, so it never sleeps.
+  void notify_write() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) > 0) {
+      std::scoped_lock lock(wait_mu_);
+      wait_cv_.notify_all();
+    }
+  }
+
+  // Blocks until write_epoch() != seen or the timeout elapses; returns the
+  // current epoch.
+  std::uint64_t wait_write_epoch(std::uint64_t seen,
+                                 std::chrono::microseconds timeout) {
+    std::unique_lock lock(wait_mu_);
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    wait_cv_.wait_for(lock, timeout, [&] {
+      return epoch_.load(std::memory_order_seq_cst) != seen;
+    });
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    return write_epoch();
   }
 
   std::size_t register_count() const;
@@ -77,31 +147,39 @@ class Space {
   struct Holder;
 
   runtime::StepController* controller_;
+  runtime::FreeStepController* free_ = nullptr;  // cached as_free()
   Enforcement mode_;
   Metrics metrics_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> waiters_{0};
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+
   mutable std::mutex mu_;  // guards registry_ during construction only
   std::vector<std::unique_ptr<RegisterBase>> registry_;
 };
 
 // ------------------------------------------------------------------- Swmr
 
-// Atomic single-writer multi-reader register. Linearizability comes for
-// free: every access is a single critical section on one mutex, and in
-// deterministic mode accesses are additionally serialized by the step gate.
-template <typename T>
+// Atomic single-writer multi-reader register. Linearizability comes from
+// the storage engine: a seqlock read/write window for trivially copyable
+// payloads (readers retry, never block), one critical section on a mutex
+// otherwise. In deterministic mode accesses are additionally serialized by
+// the step gate.
+template <typename T, typename Storage>
 class Swmr {
  public:
   Swmr(Space& space, runtime::ProcessId owner, T initial, std::string name)
       : space_(&space),
         owner_(owner),
         name_(std::move(name)),
-        value_(std::move(initial)) {}
+        storage_(std::move(initial)) {}
 
   // Readable by any process.
   T read() const {
     space_->before_read();
-    std::scoped_lock lock(mu_);
-    return value_;
+    return storage_.load();
   }
 
   // Writable only by the owner.
@@ -112,8 +190,8 @@ class Swmr {
                           std::to_string(runtime::ThisProcess::id()));
     }
     space_->before_write();
-    std::scoped_lock lock(mu_);
-    value_ = std::move(v);
+    storage_.store(std::move(v));
+    space_->notify_write();
   }
 
   // Atomic owner read-modify-write: applies `fn` to the stored value as one
@@ -132,10 +210,15 @@ class Swmr {
                           std::to_string(runtime::ThisProcess::id()));
     }
     space_->before_write();
-    std::scoped_lock lock(mu_);
-    fn(value_);
-    return value_;
+    T result = storage_.apply(std::forward<F>(fn));
+    space_->notify_write();
+    return result;
   }
+
+  // Completed writes to this register; monotone. Reading the version is not
+  // a register access in the model (no step, no meter): it exists so
+  // pollers can skip re-reads that would observably return the same value.
+  std::uint64_t version() const { return storage_.version(); }
 
   runtime::ProcessId owner() const { return owner_; }
   const std::string& name() const { return name_; }
@@ -144,14 +227,13 @@ class Swmr {
   Space* space_;
   runtime::ProcessId owner_;
   std::string name_;
-  mutable std::mutex mu_;
-  T value_;
+  Storage storage_;
 };
 
 // ------------------------------------------------------------------- Swsr
 
 // Atomic single-writer single-reader register.
-template <typename T>
+template <typename T, typename Storage>
 class Swsr {
  public:
   Swsr(Space& space, runtime::ProcessId owner, runtime::ProcessId reader,
@@ -160,7 +242,7 @@ class Swsr {
         owner_(owner),
         reader_(reader),
         name_(std::move(name)),
-        value_(std::move(initial)) {}
+        storage_(std::move(initial)) {}
 
   T read() const {
     if (space_->enforcing() && runtime::ThisProcess::id() != reader_) {
@@ -169,8 +251,7 @@ class Swsr {
                           std::to_string(runtime::ThisProcess::id()));
     }
     space_->before_read();
-    std::scoped_lock lock(mu_);
-    return value_;
+    return storage_.load();
   }
 
   void write(T v) {
@@ -180,9 +261,12 @@ class Swsr {
                           std::to_string(runtime::ThisProcess::id()));
     }
     space_->before_write();
-    std::scoped_lock lock(mu_);
-    value_ = std::move(v);
+    storage_.store(std::move(v));
+    space_->notify_write();
   }
+
+  // See Swmr::version().
+  std::uint64_t version() const { return storage_.version(); }
 
   runtime::ProcessId owner() const { return owner_; }
   runtime::ProcessId reader() const { return reader_; }
@@ -193,8 +277,7 @@ class Swsr {
   runtime::ProcessId owner_;
   runtime::ProcessId reader_;
   std::string name_;
-  mutable std::mutex mu_;
-  T value_;
+  Storage storage_;
 };
 
 // --------------------------------------------------------------- factories

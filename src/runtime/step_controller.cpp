@@ -26,12 +26,23 @@ int FreeStepController::attach(ProcessId /*pid*/, std::string /*role*/,
 
 void FreeStepController::detach() {}
 
-void FreeStepController::step() {
-  count_.fetch_add(1, std::memory_order_relaxed);
+std::uint64_t FreeStepController::steps() const {
+  std::uint64_t total = count_.value();
+  std::scoped_lock lock(sources_mu_);
+  for (const auto* src : sources_) total += src->value();
+  return total;
 }
 
-std::uint64_t FreeStepController::steps() const {
-  return count_.load(std::memory_order_relaxed);
+void FreeStepController::add_access_source(
+    const util::ShardedCounter* counter) {
+  std::scoped_lock lock(sources_mu_);
+  sources_.push_back(counter);
+}
+
+void FreeStepController::remove_access_source(
+    const util::ShardedCounter* counter) {
+  std::scoped_lock lock(sources_mu_);
+  std::erase(sources_, counter);
 }
 
 // ------------------------------------------------------- Deterministic mode

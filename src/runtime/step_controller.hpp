@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "runtime/process.hpp"
+#include "util/sharded_counter.hpp"
 
 namespace swsig::runtime {
 
@@ -40,10 +41,16 @@ struct ThreadInfo {
 };
 
 class SchedulePolicy;
+class FreeStepController;
 
 class StepController {
  public:
   virtual ~StepController() = default;
+
+  // Non-null iff this controller is a FreeStepController. Callers that gate
+  // on every access (registers::Space) cache the result once so that the
+  // free-mode hot path pays no virtual dispatch per step.
+  virtual FreeStepController* as_free() { return nullptr; }
 
   // A thread announces itself before taking steps. Returns its token.
   // `preferred_token` (>= 1) fixes the token explicitly — the Harness
@@ -59,18 +66,33 @@ class StepController {
   virtual std::uint64_t steps() const = 0;
 };
 
-// Real concurrency; step() only counts.
+// Real concurrency; step() only counts. The count is sharded per thread so
+// concurrent steppers never contend on one cache line, and a Space in free
+// mode counts its metered accesses as steps directly (add_access_source)
+// rather than paying a second fetch_add through the virtual gate — steps()
+// reports both kinds.
 class FreeStepController final : public StepController {
  public:
+  FreeStepController* as_free() override { return this; }
+
   int attach(ProcessId pid, std::string role,
              int preferred_token = -1) override;
   void detach() override;
-  void step() override;
+  void step() override { count_.add(); }
   std::uint64_t steps() const override;
+
+  // Registers an external access counter whose value counts as steps taken
+  // through this controller (a free-mode Space registers its read/write
+  // meters). The counter must outlive the registration; callers remove it
+  // before destruction.
+  void add_access_source(const util::ShardedCounter* counter);
+  void remove_access_source(const util::ShardedCounter* counter);
 
  private:
   std::atomic<int> next_token_{1};
-  std::atomic<std::uint64_t> count_{0};
+  util::ShardedCounter count_;
+  mutable std::mutex sources_mu_;
+  std::vector<const util::ShardedCounter*> sources_;
 };
 
 // Serialized, policy-driven interleaving.

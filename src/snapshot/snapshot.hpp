@@ -37,6 +37,7 @@
 
 #include "core/authenticated_register.hpp"
 #include "core/types.hpp"
+#include "core/version_gate.hpp"
 #include "registers/space.hpp"
 #include "runtime/process.hpp"
 
@@ -60,7 +61,8 @@ class AtomicSnapshot {
     std::uint64_t v0 = 0;
   };
 
-  AtomicSnapshot(registers::Space& space, Config config) : cfg_(config) {
+  AtomicSnapshot(registers::Space& space, Config config)
+      : space_(&space), cfg_(config), epoch_gate_(config.n) {
     core::check_resilience(cfg_.n, cfg_.f);
     for (int i = 0; i <= cfg_.n; ++i) {
       segments_.push_back(nullptr);
@@ -131,11 +133,20 @@ class AtomicSnapshot {
 
   bool help_round() {
     const int self = runtime::ThisProcess::id();
+    // Version-gated wakeup (free mode): helping can only become necessary
+    // after some register in the space was written (an updater's segment,
+    // an embedded scan, a reader's round counter — all are writes). If the
+    // space-wide write epoch is unchanged since this process's last
+    // completed round, skip the 2n inner helping rounds outright.
+    const bool gate = space_->free_mode();
+    std::uint64_t epoch = 0;
+    if (gate && !epoch_gate_.changed(*space_, self, epoch)) return false;
     bool any = false;
     for (int i = 1; i <= cfg_.n; ++i) {
       any |= segments_[static_cast<std::size_t>(i)]->help(self);
       any |= scans_[static_cast<std::size_t>(i)]->help(self);
     }
+    if (gate) epoch_gate_.record(self, epoch);
     return any;
   }
 
@@ -223,10 +234,12 @@ class AtomicSnapshot {
     return s;
   }
 
+  registers::Space* space_;
   Config cfg_;
   std::vector<std::unique_ptr<Remapped<SegReg>>> segments_;
   std::vector<std::unique_ptr<Remapped<ScanReg>>> scans_;
   std::vector<std::uint64_t> seq_;  // per-process writer counters
+  core::detail::SpaceEpochGate epoch_gate_;
 };
 
 }  // namespace swsig::snapshot

@@ -1,0 +1,100 @@
+// Per-thread-sharded monotone counter for write-heavy / read-rarely
+// telemetry (access metering, free-mode step counts).
+//
+// Each thread owns a private cache-line-padded slot, indexed by a
+// process-wide thread ordinal: the increment is a relaxed load+add+store on
+// memory no other thread writes — no locked instruction, no shared cache
+// line — and value() folds the slots. Slots live in lazily allocated
+// fixed-size chunks, so ordinals never wrap and slots are never shared
+// (single-writer => the unlocked read-modify-write is exact). Threads past
+// the chunk capacity (kChunks * kSlotsPerChunk = 16384 per process
+// lifetime) fall back to one shared fetch_add slot, trading speed for
+// correctness, never dropping counts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace swsig::util {
+
+// Ordinal of the calling thread, assigned on first use (monotone,
+// process-wide, never reused). Stable for the thread's lifetime.
+inline std::size_t thread_ordinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  ~ShardedCounter() {
+    for (auto& c : chunks_) delete c.load(std::memory_order_acquire);
+  }
+
+  void add(std::uint64_t delta = 1) {
+    Slot* slot = slot_for(thread_ordinal());
+    if (slot) {
+      // Single writer per slot: an unlocked read-modify-write is exact.
+      slot->v.store(slot->v.load(std::memory_order_relaxed) + delta,
+                    std::memory_order_relaxed);
+    } else {
+      overflow_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = overflow_.load(std::memory_order_relaxed);
+    for (const auto& c : chunks_) {
+      const Chunk* chunk = c.load(std::memory_order_acquire);
+      if (!chunk) continue;
+      for (const Slot& s : chunk->slots)
+        sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  // 64 is the destructive-interference size on every target we build for;
+  // hardcoded (not std::hardware_destructive_interference_size) so the
+  // slot layout is ABI-stable across compiler flags.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static constexpr std::size_t kSlotsPerChunk = 64;  // 4 KiB per chunk
+  static constexpr std::size_t kChunks = 256;
+  struct Chunk {
+    std::array<Slot, kSlotsPerChunk> slots{};
+  };
+
+  Slot* slot_for(std::size_t ordinal) {
+    const std::size_t c = ordinal / kSlotsPerChunk;
+    if (c >= kChunks) return nullptr;
+    Chunk* chunk = chunks_[c].load(std::memory_order_acquire);
+    if (!chunk) chunk = allocate(c);
+    return &chunk->slots[ordinal % kSlotsPerChunk];
+  }
+
+  Chunk* allocate(std::size_t c) {
+    auto* fresh = new Chunk();
+    Chunk* expected = nullptr;
+    if (!chunks_[c].compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      delete fresh;  // another thread won the race
+      return expected;
+    }
+    return fresh;
+  }
+
+  std::array<std::atomic<Chunk*>, kChunks> chunks_{};
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+}  // namespace swsig::util

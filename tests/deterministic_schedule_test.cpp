@@ -225,6 +225,67 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                            return "seed" + std::to_string(i.param);
                          });
 
+// ---------------------------------------------- determinism regression
+
+// trace_hash() pinned for fixed seeds, captured on the pre-fast-path
+// substrate (mutex storage + virtual step gate + busy-polling helpers).
+// The free-mode optimizations (seqlock storage, devirtualized gate,
+// version-gated helper wakeup, cached Verify collection) must be invisible
+// here: in deterministic mode every register access still parks on
+// StepController::step() and helpers re-read registers exactly as the
+// paper writes them, so the granted (token, pid) sequence — and hence the
+// hash — is byte-identical to the pre-optimization build. If this test
+// fails, a fast path leaked into deterministic mode.
+std::uint64_t pinned_trace(std::uint64_t seed) {
+  runtime::Harness h(
+      {.deterministic = true,
+       .policy = std::make_shared<runtime::RandomPolicy>(seed)});
+  registers::Space space(h.controller());
+  core::VerifiableRegister<int> reg(space, {.n = 4, .f = 1, .v0 = 0});
+  std::atomic<int> ops_done{0};
+
+  h.spawn(1, "op", [&](std::stop_token) {
+    reg.write(1);
+    reg.sign(1);
+    reg.write(2);
+    reg.sign(2);
+    ops_done.fetch_add(1);
+  });
+  h.spawn(2, "op", [&](std::stop_token) {
+    reg.verify(1);
+    reg.read();
+    ops_done.fetch_add(1);
+  });
+  h.spawn(3, "op", [&](std::stop_token) {
+    reg.verify(2);
+    reg.verify(1);
+    ops_done.fetch_add(1);
+  });
+  for (int pid = 1; pid <= 4; ++pid) {
+    h.spawn(pid, "help", [&](std::stop_token) {
+      while (ops_done.load(std::memory_order_relaxed) < 3) reg.help_round();
+    });
+  }
+  h.start();
+  h.join();
+  return h.trace_hash();
+}
+
+TEST(DeterminismRegression, TraceHashPinnedAcrossFastPathChanges) {
+  EXPECT_EQ(pinned_trace(1), 17356776577621113944ULL);
+  EXPECT_EQ(pinned_trace(7), 4670788948032501584ULL);
+  EXPECT_EQ(pinned_trace(42), 7002199874767147162ULL);
+}
+
+// Deterministic mode must never take the free-mode fast path.
+TEST(DeterminismRegression, DeterministicSpaceIsNotFreeMode) {
+  runtime::Harness h(
+      {.deterministic = true,
+       .policy = std::make_shared<runtime::RandomPolicy>(1)});
+  registers::Space space(h.controller());
+  EXPECT_FALSE(space.free_mode());
+}
+
 // The literal H1/H2 schedule of the impossibility proof, reproduced under
 // the deterministic scheduler with GatedPolicy: pb (p3) takes NO steps
 // until the Byzantine reset completed — the "blank interval" of Fig. 1.

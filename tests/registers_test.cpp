@@ -161,6 +161,35 @@ TEST(Seqlock, SingleThreadRoundTrip) {
   EXPECT_EQ(reg.read(), 9u);
 }
 
+// A reader must make progress while a writer storms the register: the read
+// loop's bounded yield backoff keeps the reader live even when writes keep
+// the sequence moving (and, on a single core, hands the writer its slice
+// so the odd "write in flight" window cannot starve the reader).
+TEST(Seqlock, ReaderMakesProgressUnderStormingWriter) {
+  SeqlockRegister<std::uint64_t> reg(0);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) reg.write(++v);
+  });
+  constexpr int kReads = 50000;
+  std::uint64_t last = 0;
+  for (int i = 0; i < kReads; ++i) last = reg.read();  // must terminate
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_LE(last, reg.read());  // reads observe the monotone write stream
+}
+
+TEST(Seqlock, VersionCountsCompletedWrites) {
+  SeqlockRegister<std::uint64_t> reg(5);
+  EXPECT_EQ(reg.version(), 0u);
+  reg.write(6);
+  reg.write(7);
+  EXPECT_EQ(reg.version(), 2u);
+  reg.read();
+  EXPECT_EQ(reg.version(), 2u);
+}
+
 TEST(Seqlock, NoTornReadsUnderContention) {
   struct Pair {
     std::uint64_t a, b;

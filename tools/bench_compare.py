@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON dumps produced by bench binaries' --json flag.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+                           [--warn-only]
+
+Metrics are compared by key (only keys present in both dumps). Lower is
+better, except keys ending in "_per_s", "_ops" or "_speedup", which are
+higher-is-better. A metric regresses when it is worse than the baseline by
+more than the threshold (relative). Exit status is 1 when any metric
+regressed, unless --warn-only is given (CI uses --warn-only so noisy
+runners cannot turn the perf-smoke job red).
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER_SUFFIXES = ("_per_s", "_ops", "_speedup")
+
+
+def higher_is_better(key: str) -> bool:
+    return key.endswith(HIGHER_IS_BETTER_SUFFIXES)
+
+
+def load_metrics(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"{path}: no 'metrics' object")
+    return {k: float(v) for k, v in metrics.items()}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative regression threshold (default 0.15)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but always exit 0")
+    args = ap.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("bench_compare: no shared metrics between the two dumps")
+        return 0 if args.warn_only else 1
+
+    regressions = []
+    print(f"{'metric':<44} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for key in shared:
+        b, c = base[key], cur[key]
+        ratio = c / b if b else float("inf")
+        if higher_is_better(key):
+            regressed = c < b * (1.0 - args.threshold)
+        else:
+            regressed = c > b * (1.0 + args.threshold)
+        marker = "  REGRESSED" if regressed else ""
+        print(f"{key:<44} {b:>12.4g} {c:>12.4g} {ratio:>8.3f}{marker}")
+        if regressed:
+            regressions.append(key)
+
+    skipped = (set(base) ^ set(cur))
+    if skipped:
+        print(f"bench_compare: {len(skipped)} metric(s) present in only one "
+              f"dump were skipped")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 0 if args.warn_only else 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
