@@ -1,12 +1,19 @@
 // T9 — The closing corollary, measured: emulated SWMR registers over
-// Byzantine message passing (write/read latency, messages per op), and the
-// full stack — a verifiable register running on those emulated registers.
+// Byzantine message passing (write/read latency, messages per op), the
+// full stack — a verifiable register running on those emulated registers —
+// and the batched/sharded substrate (T9c/T9d): amortized messages per
+// write with one ECHO/ACCEPT/ACK ladder per round, and throughput scaling
+// when registers shard across independent networks.
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "bench/baseline.hpp"
 #include "bench/common.hpp"
 #include "core/verifiable_register.hpp"
+#include "msgpass/batched_space.hpp"
 #include "msgpass/emulated_swmr.hpp"
 #include "runtime/process.hpp"
 
@@ -17,6 +24,16 @@ using bench::max_f;
 
 constexpr int kIters = 40;
 
+// Message counts sampled right after the last client call are
+// scheduling-dependent (write() returns on n−f ACKs with the trailing f
+// servers' traffic still in flight) — and these counts are compared
+// against a committed baseline in CI, so drain the tail first.
+template <typename CountFn>
+std::uint64_t drained(CountFn&& count) {
+  return msgpass::drain_message_count(std::forward<CountFn>(count),
+                                      std::chrono::milliseconds(2));
+}
+
 struct Row {
   double write_us, read_us;
   double msgs_per_write, msgs_per_read;
@@ -26,24 +43,23 @@ Row emulated_register(int n, int f) {
   msgpass::EmulatedSpace space({.n = n, .f = f});
   auto& reg = space.make_swmr<std::uint64_t>(1, 0, "r");
   Row row{};
+  const auto count = [&] { return space.network().messages_sent(); };
   {
     runtime::ThisProcess::Binder bind(1);
-    const auto before = space.network().messages_sent();
+    const auto before = drained(count);
     std::uint64_t v = 0;
     row.write_us =
         bench::sample_latency(kIters, [&] { reg.write(++v); }).median();
-    row.msgs_per_write = static_cast<double>(
-                             space.network().messages_sent() - before) /
-                         kIters;
+    row.msgs_per_write =
+        static_cast<double>(drained(count) - before) / kIters;
   }
   {
     runtime::ThisProcess::Binder bind(2);
-    const auto before = space.network().messages_sent();
+    const auto before = drained(count);
     row.read_us =
         bench::sample_latency(kIters, [&] { reg.read(); }).median();
-    row.msgs_per_read = static_cast<double>(
-                            space.network().messages_sent() - before) /
-                        kIters;
+    row.msgs_per_read =
+        static_cast<double>(drained(count) - before) / kIters;
   }
   return row;
 }
@@ -81,6 +97,83 @@ double full_stack_verify(int n, int f) {
   return median;
 }
 
+// T9c — amortized messages per write: the unbatched per-write ladder vs
+// the batched space driving bursts of async writes through shared rounds.
+struct AmortRow {
+  double unbatched_mpw = 0;
+  double batched_mpw = 0;
+  double batched_write_us = 0;
+  double amortization = 0;  // unbatched_mpw / batched_mpw
+};
+
+AmortRow amortization(int n, int f, int writes, int batch, int burst) {
+  AmortRow row{};
+  {
+    msgpass::EmulatedSpace space({.n = n, .f = f});
+    auto& reg = space.make_swmr<std::uint64_t>(1, 0, "r");
+    runtime::ThisProcess::Binder bind(1);
+    const auto count = [&] { return space.network().messages_sent(); };
+    const auto before = drained(count);
+    for (int i = 0; i < writes; ++i) reg.write(static_cast<std::uint64_t>(i + 1));
+    row.unbatched_mpw = static_cast<double>(drained(count) - before) / writes;
+  }
+  {
+    msgpass::BatchedEmulatedSpace space(
+        {.n = n, .f = f, .shards = 1, .batch_max = batch});
+    auto& reg = space.make_swmr<std::uint64_t>(1, 0, "r");
+    runtime::ThisProcess::Binder bind(1);
+    const auto count = [&] { return space.messages_sent(); };
+    const auto before = drained(count);
+    std::uint64_t v = 0;
+    const double us = bench::time_us([&] {
+      for (int b = 0; b < writes / burst; ++b) {
+        std::uint64_t last = 0;
+        for (int i = 0; i < burst; ++i) last = reg.write_async(++v);
+        reg.await(last);
+      }
+    });
+    row.batched_mpw = static_cast<double>(drained(count) - before) / writes;
+    row.batched_write_us = us / writes;
+  }
+  row.amortization =
+      row.batched_mpw > 0 ? row.unbatched_mpw / row.batched_mpw : 0;
+  return row;
+}
+
+// T9d — register sharding: k owners pipeline async bursts into k
+// independent registers; with one shard every message funnels through one
+// per-pid inbox and one server thread per process, with k shards each
+// register's traffic has its own network and server threads. Sharding
+// removes queue serialization, so it needs real cores to pay off — the
+// hardware_concurrency figure is reported next to the numbers (on a
+// 1-core CI box the extra threads are pure scheduling overhead).
+double sharded_throughput(int n, int f, int shards, int owners, int writes,
+                          int burst) {
+  msgpass::BatchedEmulatedSpace space(
+      {.n = n, .f = f, .shards = shards, .batch_max = 8});
+  std::vector<msgpass::BatchedSwmr<std::uint64_t>*> regs;
+  for (int o = 1; o <= owners; ++o)
+    regs.push_back(&space.make_swmr<std::uint64_t>(
+        o, 0, "r" + std::to_string(o)));
+  const double us = bench::time_us([&] {
+    std::vector<std::thread> ts;
+    for (int o = 1; o <= owners; ++o) {
+      ts.emplace_back([&, o] {
+        runtime::ThisProcess::Binder bind(o);
+        auto& reg = *regs[static_cast<std::size_t>(o - 1)];
+        std::uint64_t v = 0;
+        for (int b = 0; b < writes / burst; ++b) {
+          std::uint64_t last = 0;
+          for (int i = 0; i < burst; ++i) last = reg.write_async(++v);
+          reg.await(last);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+  });
+  return static_cast<double>(owners) * writes / (us / 1e6);  // writes per s
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,5 +204,48 @@ int main(int argc, char** argv) {
   stack.add_row({"4", "1", util::Table::num(us)});
   stack.print();
   report.metric("msgpass.fullstack.n4.verify_us", us);
+
+  bench::heading(
+      "T9c — batched rounds: amortized msgs/write, one ECHO/ACCEPT/ACK "
+      "ladder per round of <= B ops (bursts of async owner writes)");
+  util::Table amort({"n", "f", "B", "msgs/write plain", "msgs/write batched",
+                     "amortization", "write us (amortized)"});
+  for (int n : {10, 16}) {
+    const int f = max_f(n);
+    const AmortRow r = amortization(n, f, /*writes=*/128, /*batch=*/8,
+                                    /*burst=*/32);
+    amort.add_row({util::Table::num(n), util::Table::num(f), "8",
+                   util::Table::num(r.unbatched_mpw, 1),
+                   util::Table::num(r.batched_mpw, 1),
+                   util::Table::num(r.amortization, 2),
+                   util::Table::num(r.batched_write_us)});
+    const std::string tag = "msgpass.n" + std::to_string(n);
+    report.metric(tag + ".unbatched_msgs_per_write", r.unbatched_mpw);
+    report.metric(tag + ".batched_msgs_per_write", r.batched_mpw);
+    report.metric(tag + ".batch_amortization_speedup", r.amortization);
+    report.metric(tag + ".batched_write_us", r.batched_write_us);
+  }
+  amort.print();
+
+  bench::heading(
+      "T9d — register sharding: 4 owners pipelining async bursts into 4 "
+      "registers, 1 shard vs 4 shards (total writes/s; hw threads: " +
+      std::to_string(std::thread::hardware_concurrency()) + ")");
+  util::Table shard({"n", "f", "shards", "writes/s"});
+  {
+    const int n = 8, f = max_f(8);
+    const double one = sharded_throughput(n, f, /*shards=*/1, /*owners=*/4,
+                                          /*writes=*/256, /*burst=*/32);
+    const double four = sharded_throughput(n, f, /*shards=*/4, /*owners=*/4,
+                                           /*writes=*/256, /*burst=*/32);
+    shard.add_row({util::Table::num(n), util::Table::num(f), "1",
+                   util::Table::num(one, 0)});
+    shard.add_row({util::Table::num(n), util::Table::num(f), "4",
+                   util::Table::num(four, 0)});
+    shard.print();
+    report.metric("msgpass.shard1.n8.writes_per_s", one);
+    report.metric("msgpass.shard4.n8.writes_per_s", four);
+    report.metric("msgpass.shard.n8.scaling_speedup", four / one);
+  }
   return 0;
 }

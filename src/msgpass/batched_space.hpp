@@ -1,0 +1,605 @@
+// Batched + sharded emulation of atomic SWMR registers over Byzantine
+// message passing — the "heavy traffic" substrate (design note 10 in
+// docs/ARCHITECTURE.md).
+//
+// The per-write protocol in emulated_swmr.hpp costs one full
+// ECHO/ACCEPT/ACK ladder per write: ~2n² + 2n messages each. Algorithms
+// 1–3 issue many small register writes from the same owner (witness-set
+// updates, helping-channel writes), so the substrate here amortizes the
+// ladder over *rounds*:
+//
+//   * Each owner's pending writes — across ALL of its registers on a shard
+//     — are drained into a round of at most `batch_max` ops. One round
+//     carries a vector of (reg, sn, value) ops and runs ONE ladder:
+//
+//       BWRITE(round, ops)        broadcast by the owner (round leader)
+//       on first BWRITE for (origin, round): intern the batch to a digest
+//                                 id; broadcast BECHO(origin, round, digest)
+//       on n−f  BECHO(o,r,d):     broadcast BACCEPT(o,r,d)     [once]
+//       on f+1  BACCEPT(o,r,d):   broadcast BACCEPT(o,r,d)     [amplify]
+//       on n−f  BACCEPT(o,r,d):   deliver — apply every op sn-monotonically
+//                                 to its register; send BACK(r) to origin.
+//       origin, on n−f BACK(r):   round complete — wake waiting writers,
+//                                 lead the next round if ops are pending.
+//
+//     Messages per round: n + 2n² + n, i.e. per write the unbatched cost
+//     divided by the achieved batch size.
+//   * Registers are sharded round-robin across `shards` independent
+//     Network instances (each with its own server threads), so writes to
+//     independent registers on different shards never serialize through
+//     one inbox queue or one protocol mutex.
+//
+// Safety is the same quorum argument as the unbatched protocol, lifted
+// from values to batch digests: echo-once-per-(origin, round) means at
+// most one digest gathers n−f echoes per round, the ACCEPT ladder is
+// Bracha totality, and per-register sn-monotone apply makes out-of-order
+// round delivery harmless. One invariant does NOT lift for free: the
+// unbatched echo-once-per-sn rule also made values unique per register sn,
+// and rounds are independent candidate keys — so servers additionally
+// echo-support each (reg, sn) op at most once ACROSS rounds (echoed_ops
+// below). Without that, a Byzantine owner could certify two values for the
+// same register sn via two rounds, splitting correct servers' stored state
+// and livelocking honest quorum reads. Batching only ever *groups* writes of a single
+// owner; it never reorders them (rounds are led FIFO, one in flight per
+// owner), so the register-level semantics are exactly those of
+// EmulatedSwmr — tests/batched_msgpass_test.cpp checks trace equivalence
+// against the unbatched space under a deterministic reorder seed.
+#pragma once
+
+#include <any>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "msgpass/message.hpp"
+#include "msgpass/network.hpp"
+#include "msgpass/server_pool.hpp"
+#include "msgpass/swmr_core.hpp"
+#include "registers/errors.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::msgpass {
+
+namespace detail {
+
+// Register-side hooks the shard protocol needs. One implementation per
+// register type T (BatchedSwmr<T>); the shard itself stays untemplated.
+struct BatchRegOps {
+  virtual ~BatchRegOps() = default;
+  virtual runtime::ProcessId reg_owner() const = 0;
+  // Interns a raw payload value, returning a stable per-register value id.
+  // Throws std::bad_any_cast on a malformed (Byzantine) payload.
+  virtual int intern_any(const std::any& value) = 0;
+  // Applies a delivered op to process `self`'s stored state, sn-monotone.
+  virtual void apply(int self, std::uint64_t sn, int vid) = 0;
+  // Serves per-register READ/STATE messages (same as the unbatched path).
+  virtual void handle(const Message& m) = 0;
+};
+
+}  // namespace detail
+
+// One write op inside a round's batch.
+struct BatchOp {
+  int reg = 0;
+  std::uint64_t sn = 0;
+  std::any value;
+};
+using Batch = std::vector<BatchOp>;
+
+// One shard: an independent Network plus the round protocol state for all
+// n processes and the registers assigned to this shard.
+class BatchShard {
+ public:
+  // Round-protocol messages are dispatched at shard level, not to a
+  // register; they use this sentinel in Message::reg.
+  static constexpr int kBatchProto = -1;
+
+  BatchShard(int n, int f, std::uint64_t reorder_seed, int batch_max)
+      : n_(n),
+        f_(f),
+        batch_max_(batch_max),
+        net_(Network::Options{n, reorder_seed}),
+        state_(static_cast<std::size_t>(n) + 1),
+        writers_(static_cast<std::size_t>(n) + 1),
+        pool_(net_, n, [this](int self, const Message& m) { handle(self, m); }) {}
+
+  ~BatchShard() { stop(); }
+  void stop() { pool_.stop(); }
+
+  Network& network() { return net_; }
+
+  void add_register(int reg_id, detail::BatchRegOps* ops) {
+    std::scoped_lock lock(mu_);
+    registry_[reg_id] = ops;
+  }
+
+  // ------------------------------------------------------------- client
+
+  // Enqueues one write op for `owner` and returns a completion ticket.
+  // The calling thread must be bound as the owner (it may have to lead a
+  // round, which broadcasts under its identity). Tickets complete in issue
+  // order: rounds drain the pending queue FIFO, one round in flight per
+  // owner.
+  std::uint64_t submit(runtime::ProcessId owner, int reg_id, std::uint64_t sn,
+                       std::any value) {
+    WriterState& ws = writers_[static_cast<std::size_t>(owner)];
+    std::unique_lock lock(ws.mu);
+    const std::uint64_t ticket = ++ws.last_ticket;
+    ws.pending.push_back(Pending{ticket, BatchOp{reg_id, sn, std::move(value)}});
+    maybe_lead(ws, lock);
+    return ticket;
+  }
+
+  // Blocks until `ticket` (from submit for the same owner) has completed,
+  // i.e. its round gathered n−f BACKs.
+  void await(runtime::ProcessId owner, std::uint64_t ticket) {
+    WriterState& ws = writers_[static_cast<std::size_t>(owner)];
+    std::unique_lock lock(ws.mu);
+    ws.cv.wait(lock, [&] { return ws.completed_ticket >= ticket; });
+  }
+
+ private:
+  // Canonical (interned) batch: (reg, sn, value id) triples. Two raw
+  // batches with equal triples are the same digest — the candidate key of
+  // the round ladder.
+  using CanonicalBatch = std::vector<std::tuple<int, std::uint64_t, int>>;
+
+  struct Pending {
+    std::uint64_t ticket = 0;
+    BatchOp op;
+  };
+
+  // Per-owner round driver state. One round in flight at a time; the next
+  // round is led either by a submitting client thread or by the owner's
+  // server thread when the previous round's BACK quorum lands (both run
+  // bound as the owner).
+  struct WriterState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Pending> pending;
+    std::uint64_t last_ticket = 0;
+    std::uint64_t completed_ticket = 0;
+    std::uint64_t last_round = 0;
+    bool in_flight = false;
+    std::uint64_t inflight_round = 0;
+    std::uint64_t inflight_last_ticket = 0;
+    std::set<int> backs;
+  };
+
+  struct RoundCand {
+    int digest = 0;
+    std::set<int> echoes;
+    std::set<int> accepts;
+    bool sent_accept = false;
+  };
+  struct ServerState {
+    // (origin, round) echoed at most once — the non-equivocation guard.
+    std::set<std::pair<int, std::uint64_t>> echoed;
+    // (reg, sn) ops echo-supported so far, across ALL rounds — the batched
+    // analogue of the unbatched echo-once-per-sn rule. Honest owners never
+    // reuse a register sn (allocate_sn_locked is strictly increasing), so
+    // only a Byzantine origin's batches ever hit this; refusing them keeps
+    // values unique per (reg, sn): at most one value can gather n−f echoes.
+    std::set<std::pair<int, std::uint64_t>> echoed_ops;
+    // Delivered rounds (persists, like echoed): votes for a delivered
+    // (origin, round) are ignored, so Byzantine BACCEPT replays after the
+    // candidate map is pruned cannot re-assemble a quorum and re-trigger
+    // the amplification + BACK storm.
+    std::set<std::pair<int, std::uint64_t>> delivered;
+    std::map<std::pair<int, std::uint64_t>, std::vector<RoundCand>> cands;
+  };
+
+  // Caller holds ws.mu (passed as `lock`); releases it around the BWRITE
+  // broadcast. Requires the calling thread bound as the owner.
+  void maybe_lead(WriterState& ws, std::unique_lock<std::mutex>& lock) {
+    if (ws.in_flight || ws.pending.empty()) return;
+    const std::size_t take =
+        std::min(ws.pending.size(), static_cast<std::size_t>(batch_max_));
+    Batch batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) batch.push_back(ws.pending[i].op);
+    ws.inflight_last_ticket = ws.pending[take - 1].ticket;
+    ws.pending.erase(ws.pending.begin(),
+                     ws.pending.begin() + static_cast<std::ptrdiff_t>(take));
+    ws.in_flight = true;
+    ws.inflight_round = ++ws.last_round;
+    ws.backs.clear();
+    const std::uint64_t round = ws.inflight_round;
+    lock.unlock();
+    Message m;
+    m.reg = kBatchProto;
+    m.type = "BWRITE";
+    m.sn = round;
+    m.payload = std::move(batch);
+    net_.broadcast(m);
+    lock.lock();
+  }
+
+  // ------------------------------------------------------------- server
+
+  void handle(int self, const Message& m) {
+    if (m.reg == kBatchProto) {
+      try {
+        if (m.type == "BWRITE") {
+          on_bwrite(self, m);
+        } else if (m.type == "BECHO") {
+          on_vote(self, m, /*is_echo=*/true);
+        } else if (m.type == "BACCEPT") {
+          on_vote(self, m, /*is_echo=*/false);
+        } else if (m.type == "BACK") {
+          on_back(self, m);
+        }
+      } catch (const std::bad_any_cast&) {
+        // Malformed payload from a Byzantine sender: dropped.
+      }
+      return;
+    }
+    detail::BatchRegOps* reg = nullptr;
+    {
+      std::scoped_lock lock(mu_);
+      const auto it = registry_.find(m.reg);
+      if (it != registry_.end()) reg = it->second;
+    }
+    if (!reg) return;
+    try {
+      reg->handle(m);
+    } catch (const std::bad_any_cast&) {
+    }
+  }
+
+  // Interns a raw batch under mu_ for server `st`. Returns the digest id,
+  // or -1 when the batch is malformed: empty, oversized, an unknown
+  // register, an op for a register the origin does not own (a Byzantine
+  // process smuggling writes into someone else's round), a (reg, sn) this
+  // server already echo-supported — within this batch or in any earlier
+  // round (cross-round sn reuse, the equivocation vector rounds reopen) —
+  // or an ill-typed value. Lookup is O(log R) via digest_index_ — the
+  // digest table itself is the content-addressed log of all rounds and is
+  // the only state that grows with history (in a real system it is simply
+  // the message payloads).
+  int intern_batch(ServerState& st, int origin, const Batch& raw) {
+    if (raw.empty() || static_cast<int>(raw.size()) > batch_max_) return -1;
+    CanonicalBatch canon;
+    canon.reserve(raw.size());
+    std::set<std::pair<int, std::uint64_t>> batch_ops;
+    for (const BatchOp& op : raw) {
+      const auto it = registry_.find(op.reg);
+      if (it == registry_.end()) return -1;
+      if (it->second->reg_owner() != origin) return -1;
+      const std::pair<int, std::uint64_t> key{op.reg, op.sn};
+      if (!batch_ops.insert(key).second) return -1;    // sn reused in batch
+      if (st.echoed_ops.contains(key)) return -1;      // sn reused across rounds
+      int vid;
+      try {
+        vid = it->second->intern_any(op.value);
+      } catch (const std::bad_any_cast&) {
+        return -1;
+      }
+      canon.emplace_back(op.reg, op.sn, vid);
+    }
+    // The whole batch is valid: this server now echo-supports each of its
+    // ops, exactly once, forever.
+    st.echoed_ops.insert(batch_ops.begin(), batch_ops.end());
+    const auto [it, inserted] = digest_index_.try_emplace(
+        canon, static_cast<int>(digests_.size()));
+    if (inserted) digests_.push_back(std::move(canon));
+    return it->second;
+  }
+
+  RoundCand& candidate(ServerState& st, std::pair<int, std::uint64_t> key,
+                       int digest) {
+    for (RoundCand& c : st.cands[key])
+      if (c.digest == digest) return c;
+    st.cands[key].push_back(RoundCand{digest, {}, {}, false});
+    return st.cands[key].back();
+  }
+
+  void on_bwrite(int self, const Message& m) {
+    const int origin = m.from;  // authenticated by the network
+    std::unique_lock lock(mu_);
+    ServerState& st = state_[static_cast<std::size_t>(self)];
+    if (!st.echoed.insert({origin, m.sn}).second) return;  // echo once
+    const int digest =
+        intern_batch(st, origin, std::any_cast<const Batch&>(m.payload));
+    if (digest < 0) return;
+    lock.unlock();
+    vote("BECHO", origin, m.sn, digest);
+  }
+
+  void on_vote(int self, const Message& m, bool is_echo) {
+    const auto& [origin, digest] =
+        std::any_cast<const std::pair<int, int>&>(m.payload);
+    if (origin < 1 || origin > n_) return;  // forged origin
+    std::unique_lock lock(mu_);
+    // A digest id outside the interned table can only come from a
+    // Byzantine sender (correct processes vote for digests they interned).
+    if (digest < 0 || digest >= static_cast<int>(digests_.size())) return;
+    ServerState& st = state_[static_cast<std::size_t>(self)];
+    if (st.delivered.contains({origin, m.sn})) return;  // post-delivery vote
+    RoundCand& c = candidate(st, {origin, m.sn}, digest);
+    (is_echo ? c.echoes : c.accepts).insert(m.from);
+    bool send_accept = false;
+    bool deliver = false;
+    if (!c.sent_accept &&
+        (static_cast<int>(c.echoes.size()) >= n_ - f_ ||
+         static_cast<int>(c.accepts.size()) >= f_ + 1)) {
+      c.sent_accept = true;
+      send_accept = true;
+    }
+    if (static_cast<int>(c.accepts.size()) >= n_ - f_) {
+      deliver = true;
+      for (const auto& [reg_id, sn, vid] : digests_[static_cast<std::size_t>(digest)]) {
+        const auto it = registry_.find(reg_id);
+        if (it != registry_.end()) it->second->apply(self, sn, vid);
+      }
+      // Prune the per-round tallies (c is dangling beyond this point);
+      // the `delivered` set keeps post-delivery votes from resurrecting
+      // them, and a hypothetical re-delivery would in any case be absorbed
+      // by the sn-monotone apply.
+      st.delivered.insert({origin, m.sn});
+      st.cands.erase({origin, m.sn});
+    }
+    lock.unlock();
+    if (send_accept) vote("BACCEPT", origin, m.sn, digest);
+    if (deliver) {
+      Message back;
+      back.reg = kBatchProto;
+      back.type = "BACK";
+      back.sn = m.sn;
+      back.to = origin;
+      net_.send(back);
+    }
+  }
+
+  void on_back(int self, const Message& m) {
+    WriterState& ws = writers_[static_cast<std::size_t>(self)];
+    std::unique_lock lock(ws.mu);
+    if (!ws.in_flight || m.sn != ws.inflight_round) return;  // stale/forged
+    ws.backs.insert(m.from);
+    if (static_cast<int>(ws.backs.size()) < n_ - f_) return;
+    ws.completed_ticket = ws.inflight_last_ticket;
+    ws.in_flight = false;
+    ws.cv.notify_all();
+    // The owner's server thread (bound as the owner) chains the next round
+    // so asynchronous submitters never stall.
+    maybe_lead(ws, lock);
+  }
+
+  void vote(const char* type, int origin, std::uint64_t round, int digest) {
+    Message m;
+    m.reg = kBatchProto;
+    m.type = type;
+    m.sn = round;
+    m.payload = std::pair<int, int>(origin, digest);
+    net_.broadcast(m);
+  }
+
+  const int n_;
+  const int f_;
+  const int batch_max_;
+  Network net_;
+  std::mutex mu_;  // protocol state: registry_, state_, digests_
+  std::map<int, detail::BatchRegOps*> registry_;
+  std::vector<ServerState> state_;       // per process
+  std::vector<CanonicalBatch> digests_;  // interned batches, id = index
+  std::map<CanonicalBatch, int> digest_index_;  // canon -> id, O(log R)
+  std::vector<WriterState> writers_;     // per owner (own mutex each)
+  detail::ServerPool pool_;  // last member: threads stop before state dies
+};
+
+// One emulated SWMR register on a shard. Client semantics match
+// EmulatedSwmr (write blocks for the quorum, owner RMW is atomic, reads
+// quorum over STATE replies — all shared via detail::SwmrCore);
+// write_async/await additionally expose the batch seam so an owner can
+// pipeline several writes into one round.
+template <typename T>
+class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
+  using Core = detail::SwmrCore<T>;
+
+ public:
+  BatchedSwmr(BatchShard& shard, int reg_id, int n, int f,
+              runtime::ProcessId owner, T initial, std::string name,
+              runtime::ProcessId sole_reader = runtime::kNoProcess)
+      : Core(reg_id, n, f, owner, std::move(initial), std::move(name),
+             sole_reader),
+        shard_(&shard) {}
+
+  // ------------------------------------------------------------- client
+
+  // Blocking write: completes once the op's round gathered n−f BACKs.
+  // Same writer-mutex discipline as EmulatedSwmr::write.
+  void write(T v) {
+    this->require_owner("write");
+    std::scoped_lock wl(this->writer_mu_);
+    shard_->await(this->owner_, submit_locked(std::move(v)));
+  }
+
+  // Asynchronous write: enqueues the op and returns a ticket. Pending ops
+  // of the same owner ride one round together (up to batch_max); await()
+  // blocks on the ticket. owner_view_ already reflects the write.
+  std::uint64_t write_async(T v) {
+    this->require_owner("write_async");
+    std::scoped_lock wl(this->writer_mu_);
+    return submit_locked(std::move(v));
+  }
+
+  void await(std::uint64_t ticket) {
+    this->require_owner("await");
+    shard_->await(this->owner_, ticket);
+  }
+
+  // Owner read-modify-write, atomic against the owner's other writing
+  // thread — the shared SwmrCore::update_with discipline, committed
+  // through this substrate's round protocol.
+  template <typename F>
+  T update(F&& fn) {
+    this->require_owner("update");
+    return this->update_with(std::forward<F>(fn), [this](T v) {
+      shard_->await(this->owner_, submit_locked(std::move(v)));
+    });
+  }
+
+  // Read by any process (or the sole reader, for SWSR use): broadcast READ,
+  // quorum over STATE replies — identical to the unbatched protocol.
+  T read() { return this->read_via(shard_->network()); }
+
+  // ------------------------------------------ shard-facing (BatchRegOps)
+
+  runtime::ProcessId reg_owner() const override { return this->owner_; }
+
+  int intern_any(const std::any& value) override {
+    const T& v = std::any_cast<const T&>(value);  // may throw: shard drops
+    std::scoped_lock lock(this->mu_);
+    return this->intern_locked(v);
+  }
+
+  void apply(int self, std::uint64_t sn, int vid) override {
+    std::scoped_lock lock(this->mu_);
+    if (vid < 0 || vid >= static_cast<int>(this->values_.size())) return;
+    this->apply_locked(self, sn, vid);
+  }
+
+  void handle(const Message& m) override {
+    const int self = runtime::ThisProcess::id();
+    if (m.type == "READ") {
+      this->serve_read(shard_->network(), self, m);
+    } else if (m.type == "STATE") {
+      this->accept_state(m);
+    }
+  }
+
+ private:
+  // Allocates the sn, updates owner_view_ sn-monotonically, and hands the
+  // op to the shard. Caller holds writer_mu_.
+  std::uint64_t submit_locked(T v) {
+    const std::uint64_t sn = this->allocate_sn_locked(v);
+    return shard_->submit(this->owner_, this->reg_id_, sn,
+                          std::any(std::move(v)));
+  }
+
+  BatchShard* shard_;
+};
+
+// SWSR flavor: same protocol, read restricted to one process.
+template <typename T>
+class BatchedSwsr : public BatchedSwmr<T> {
+ public:
+  using BatchedSwmr<T>::BatchedSwmr;
+};
+
+// Factory: shards + registers. API-compatible with registers::Space and
+// msgpass::EmulatedSpace for everything the core algorithms use, so
+// Algorithms 1–3 run unchanged on the batched substrate.
+class BatchedEmulatedSpace {
+ public:
+  template <typename T>
+  using SwmrFor = BatchedSwmr<T>;
+  template <typename T>
+  using SwsrFor = BatchedSwsr<T>;
+
+  struct Options {
+    int n = 4;
+    int f = 1;
+    std::uint64_t reorder_seed = 0;
+    int shards = 1;     // independent networks; registers round-robin
+    int batch_max = 8;  // max ops per broadcast round
+  };
+
+  explicit BatchedEmulatedSpace(Options options) : options_(options) {
+    if (options_.shards < 1) options_.shards = 1;
+    if (options_.batch_max < 1) options_.batch_max = 1;
+    for (int s = 0; s < options_.shards; ++s) {
+      // Distinct per-shard reorder streams, still fully seed-determined.
+      const std::uint64_t seed =
+          options_.reorder_seed == 0
+              ? 0
+              : options_.reorder_seed + 7919u * static_cast<std::uint64_t>(s);
+      shards_.push_back(std::make_unique<BatchShard>(
+          options_.n, options_.f, seed, options_.batch_max));
+    }
+  }
+
+  ~BatchedEmulatedSpace() { stop(); }
+
+  void stop() {
+    for (auto& s : shards_) s->stop();
+  }
+
+  template <typename T>
+  BatchedSwmr<T>& make_swmr(runtime::ProcessId owner, T initial,
+                            std::string name) {
+    return make_reg<T>(owner, runtime::kNoProcess, std::move(initial),
+                       std::move(name));
+  }
+
+  template <typename T>
+  BatchedSwsr<T>& make_swsr(runtime::ProcessId owner,
+                            runtime::ProcessId reader, T initial,
+                            std::string name) {
+    return static_cast<BatchedSwsr<T>&>(
+        make_reg<T>(owner, reader, std::move(initial), std::move(name)));
+  }
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  BatchShard& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+
+  // Aggregate across shards (each shard has its own Network).
+  std::uint64_t messages_sent() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->network().messages_sent();
+    return total;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  template <typename T>
+  BatchedSwmr<T>& make_reg(runtime::ProcessId owner,
+                           runtime::ProcessId reader, T initial,
+                           std::string name) {
+    // writers_/state_ are indexed by pid 0..n; an out-of-range owner would
+    // be undefined behavior at the first submit, not a clean error.
+    if (owner < 1 || owner > options_.n)
+      throw std::invalid_argument("BatchedEmulatedSpace register '" + name +
+                                  "': owner p" + std::to_string(owner) +
+                                  " outside 1.." + std::to_string(options_.n));
+    std::scoped_lock lock(mu_);
+    const int id = next_reg_++;
+    BatchShard& shard = *shards_[static_cast<std::size_t>(
+        id % static_cast<int>(shards_.size()))];
+    std::unique_ptr<BatchedSwmr<T>> reg;
+    if (reader == runtime::kNoProcess) {
+      reg = std::make_unique<BatchedSwmr<T>>(shard, id, options_.n,
+                                             options_.f, owner,
+                                             std::move(initial),
+                                             std::move(name));
+    } else {
+      reg = std::make_unique<BatchedSwsr<T>>(shard, id, options_.n,
+                                             options_.f, owner,
+                                             std::move(initial),
+                                             std::move(name), reader);
+    }
+    auto& ref = *reg;
+    shard.add_register(id, reg.get());
+    registry_.push_back(std::move(reg));
+    return ref;
+  }
+
+  Options options_;
+  std::mutex mu_;
+  int next_reg_ = 0;
+  std::vector<std::unique_ptr<detail::BatchRegOps>> registry_;
+  std::vector<std::unique_ptr<BatchShard>> shards_;
+};
+
+}  // namespace swsig::msgpass

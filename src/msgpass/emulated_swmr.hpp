@@ -35,6 +35,10 @@
 //    converge via totality); under an infinite write storm a read may
 //    retry unboundedly — the shared-memory algorithms built on top issue
 //    finitely many writes per operation. Recorded as design note 6 in docs/ARCHITECTURE.md.
+//
+// The owner's client-side state (writer mutex, sn-monotone local view) and
+// the READ/STATE quorum machinery are shared with the batched substrate:
+// detail::SwmrCore in msgpass/swmr_core.hpp.
 #pragma once
 
 #include <condition_variable>
@@ -51,6 +55,8 @@
 #include <vector>
 
 #include "msgpass/network.hpp"
+#include "msgpass/server_pool.hpp"
+#include "msgpass/swmr_core.hpp"
 #include "registers/errors.hpp"
 #include "runtime/process.hpp"
 
@@ -70,136 +76,70 @@ struct HandlerBase {
 // client-side operations. All state is guarded by one mutex; message
 // handling runs on per-process server threads owned by the EmulatedSpace.
 template <typename T>
-class EmulatedSwmr : public detail::HandlerBase {
+class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
+  using Core = detail::SwmrCore<T>;
+
  public:
   EmulatedSwmr(Network& net, int reg_id, int n, int f,
                runtime::ProcessId owner, T initial, std::string name,
                runtime::ProcessId sole_reader = runtime::kNoProcess)
-      : net_(&net),
-        reg_id_(reg_id),
-        n_(n),
-        f_(f),
-        owner_(owner),
-        sole_reader_(sole_reader),
-        name_(std::move(name)),
-        initial_(initial),
-        owner_view_(std::move(initial)) {
-    state_.resize(static_cast<std::size_t>(n_) + 1);
-    for (int pid = 0; pid <= n_; ++pid) {
-      state_[static_cast<std::size_t>(pid)].stored_sn = 0;
-      state_[static_cast<std::size_t>(pid)].stored_val = initial_;
-    }
+      : Core(reg_id, n, f, owner, std::move(initial), std::move(name),
+             sole_reader),
+        net_(&net) {
+    ladder_.resize(static_cast<std::size_t>(n) + 1);
   }
-
-  const std::string& name() const { return name_; }
-  runtime::ProcessId owner() const { return owner_; }
 
   // ------------------------------------------------------------- client
 
-  // Write by the owner: completes after n−f ACKs.
+  // Write by the owner: completes after n−f ACKs. The model has a single
+  // writing *process*, but that process may write from two threads (its op
+  // thread and its Help() thread — Algorithms 1–3 do both). writer_mu_
+  // serializes those whole-operation, the same discipline as the seqlock
+  // engine's writer mutex (registers/storage.hpp); readers never touch it.
   void write(T v) {
-    require_owner("write");
-    std::unique_lock lock(mu_);
-    owner_view_ = v;
-    const std::uint64_t sn = ++write_sn_;
-    lock.unlock();
-    Message m;
-    m.reg = reg_id_;
-    m.type = "WRITE";
-    m.sn = sn;
-    m.payload = v;
-    net_->broadcast(m);
-    lock.lock();
-    cv_.wait(lock, [&] {
-      return static_cast<int>(acks_[sn].size()) >= n_ - f_;
-    });
-    acks_.erase(sn);
+    this->require_owner("write");
+    std::scoped_lock wl(this->writer_mu_);
+    write_locked(std::move(v));
   }
 
   // Owner read-modify-write (single-writer, so the owner's local view IS
-  // the register's last written value).
+  // the register's last written value). Atomicity against the owner's other
+  // writing thread lives in SwmrCore::update_with.
   template <typename F>
   T update(F&& fn) {
-    require_owner("update");
-    std::unique_lock lock(mu_);
-    T next = owner_view_;
-    fn(next);
-    const bool changed = !(next == owner_view_);
-    lock.unlock();
-    if (changed) write(next);
-    return next;
+    this->require_owner("update");
+    return this->update_with(std::forward<F>(fn),
+                             [this](T v) { write_locked(std::move(v)); });
   }
 
   // Read by any process (or the sole reader, for SWSR use).
-  T read() {
-    const runtime::ProcessId self = runtime::ThisProcess::id();
-    if (sole_reader_ != runtime::kNoProcess && self != sole_reader_ &&
-        self != owner_) {
-      throw registers::PortViolation("read of emulated SWSR '" + name_ +
-                                     "' by p" + std::to_string(self));
-    }
-    if (self == owner_) {
-      // The single writer's latest write is trivially the current value.
-      std::scoped_lock lock(mu_);
-      return owner_view_;
-    }
-    for (;;) {
-      std::uint64_t rid;
-      {
-        std::scoped_lock lock(mu_);
-        rid = ++read_rid_;
-        reads_[rid];  // create wait slot
-      }
-      Message m;
-      m.reg = reg_id_;
-      m.type = "READ";
-      m.sn = rid;
-      net_->broadcast(m);
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [&] {
-        return static_cast<int>(reads_[rid].senders.size()) >= n_ - f_;
-      });
-      // Highest pair reported identically by n−f distinct processes.
-      std::optional<T> result;
-      std::uint64_t best_sn = 0;
-      bool found = false;
-      for (const auto& [key, support] : reads_[rid].support) {
-        if (static_cast<int>(support.size()) >= n_ - f_ &&
-            (!found || key.first > best_sn)) {
-          best_sn = key.first;
-          result = values_.at(key.second);
-          found = true;
-        }
-      }
-      reads_.erase(rid);
-      if (found) return *result;
-      // No quorum-supported pair among these replies (stores still
-      // converging): retry with a fresh request.
-      lock.unlock();
-      std::this_thread::yield();
-    }
-  }
+  T read() { return this->read_via(*net_); }
 
   // ------------------------------------------------------------- server
 
   void handle(const Message& m) override {
     const runtime::ProcessId self = runtime::ThisProcess::id();
     if (m.type == "WRITE") {
-      if (m.from != owner_) return;  // only the owner's writes count
+      if (m.from != this->owner_) return;  // only the owner's writes count
       on_write(self, m);
     } else if (m.type == "ECHO") {
       on_echo(self, m);
     } else if (m.type == "ACCEPT") {
       on_accept(self, m);
     } else if (m.type == "ACK") {
-      if (self != owner_) return;
-      std::scoped_lock lock(mu_);
-      acks_[m.sn].insert(m.from);
-      cv_.notify_all();
+      if (self != this->owner_) return;
+      std::scoped_lock lock(this->mu_);
+      // Only count ACKs for the write currently in flight (the slot is
+      // opened by write_locked before the broadcast): late or replayed
+      // ACKs would otherwise recreate map entries that are never erased.
+      const auto it = acks_.find(m.sn);
+      if (it == acks_.end()) return;
+      it->second.insert(m.from);
+      this->cv_.notify_all();
     } else if (m.type == "READ") {
-      on_read(self, m);
+      this->serve_read(*net_, self, m);
     } else if (m.type == "STATE") {
-      on_state(m);
+      this->accept_state(m);
     }
   }
 
@@ -209,165 +149,133 @@ class EmulatedSwmr : public detail::HandlerBase {
     std::set<int> echoes;
     std::set<int> accepts;
     bool sent_accept = false;
-    bool delivered = false;
   };
-  struct ServerState {
-    std::uint64_t stored_sn = 0;
-    T stored_val{};
-    std::set<std::uint64_t> echoed;  // echo-once-per-sn
-    // per sn: candidate values (usually 1; >1 only under equivocation)
+  struct LadderState {
+    std::set<std::uint64_t> echoed;  // echo-once-per-sn (must persist)
+    // Delivered sns (persists, like echoed): ECHO/ACCEPT votes for a
+    // delivered sn are ignored, so a Byzantine ACCEPT replay landing after
+    // the candidate map below is pruned cannot pool with a correct
+    // straggler's vote into a fresh f+1 and re-trigger the whole
+    // amplification + ACK storm.
+    std::set<std::uint64_t> delivered;
+    // per sn: candidate values (usually 1; >1 only under equivocation).
+    // The entry is erased once a candidate delivers; `delivered` above
+    // keeps post-delivery votes from resurrecting it.
     std::map<std::uint64_t, std::vector<Candidate>> cands;
   };
-  struct ReadWait {
-    std::set<int> senders;
-    // (sn, value_id) -> supporting processes
-    std::map<std::pair<std::uint64_t, int>, std::set<int>> support;
-  };
 
-  void require_owner(const char* op) const {
-    if (runtime::ThisProcess::id() != owner_)
-      throw registers::PortViolation(std::string(op) + " on emulated '" +
-                                     name_ + "' by non-owner p" +
-                                     std::to_string(runtime::ThisProcess::id()));
+  // Core of write(): caller holds writer_mu_.
+  void write_locked(T v) {
+    const std::uint64_t sn = this->allocate_sn_locked(v);
+    {
+      // Open the ACK wait slot before broadcasting so the ACK handler can
+      // tell the in-flight write from stale/replayed sns.
+      std::scoped_lock lock(this->mu_);
+      acks_[sn];
+    }
+    Message m;
+    m.reg = this->reg_id_;
+    m.type = "WRITE";
+    m.sn = sn;
+    m.payload = std::move(v);
+    net_->broadcast(m);
+    std::unique_lock lock(this->mu_);
+    this->cv_.wait(lock, [&] {
+      return static_cast<int>(acks_[sn].size()) >= this->n_ - this->f_;
+    });
+    acks_.erase(sn);
   }
 
-  // Interns a value, returning a stable id (values are only ever compared
-  // for equality; ids keep the maps cheap and hashable-free).
-  int intern(const T& v) {
-    for (std::size_t i = 0; i < values_.size(); ++i)
-      if (values_[i] == v) return static_cast<int>(i);
-    values_.push_back(v);
-    return static_cast<int>(values_.size()) - 1;
-  }
-
-  Candidate& candidate(ServerState& st, std::uint64_t sn, int value_id) {
+  Candidate& candidate(LadderState& st, std::uint64_t sn, int value_id) {
     for (Candidate& c : st.cands[sn])
       if (c.value_id == value_id) return c;
-    st.cands[sn].push_back(Candidate{value_id, {}, {}, false, false});
+    st.cands[sn].push_back(Candidate{value_id, {}, {}, false});
     return st.cands[sn].back();
   }
 
   void on_write(int self, const Message& m) {
-    std::unique_lock lock(mu_);
-    ServerState& st = state_[static_cast<std::size_t>(self)];
+    std::unique_lock lock(this->mu_);
+    LadderState& st = ladder_[static_cast<std::size_t>(self)];
     if (st.echoed.contains(m.sn)) return;  // echo at most once per sn
     st.echoed.insert(m.sn);
-    const int vid = intern(std::any_cast<const T&>(m.payload));
+    const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
     lock.unlock();
     Message echo;
-    echo.reg = reg_id_;
+    echo.reg = this->reg_id_;
     echo.type = "ECHO";
     echo.sn = m.sn;
-    echo.payload = values_snapshot(vid);
+    echo.payload = value_snapshot(vid);
     net_->broadcast(echo);
   }
 
   void on_echo(int self, const Message& m) {
-    std::unique_lock lock(mu_);
-    ServerState& st = state_[static_cast<std::size_t>(self)];
-    const int vid = intern(std::any_cast<const T&>(m.payload));
+    std::unique_lock lock(this->mu_);
+    LadderState& st = ladder_[static_cast<std::size_t>(self)];
+    if (st.delivered.contains(m.sn)) return;  // post-delivery vote: inert
+    const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
     Candidate& c = candidate(st, m.sn, vid);
     c.echoes.insert(m.from);
     progress(self, st, m.sn, c, lock);
   }
 
   void on_accept(int self, const Message& m) {
-    std::unique_lock lock(mu_);
-    ServerState& st = state_[static_cast<std::size_t>(self)];
-    const int vid = intern(std::any_cast<const T&>(m.payload));
+    std::unique_lock lock(this->mu_);
+    LadderState& st = ladder_[static_cast<std::size_t>(self)];
+    if (st.delivered.contains(m.sn)) return;  // post-delivery vote: inert
+    const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
     Candidate& c = candidate(st, m.sn, vid);
     c.accepts.insert(m.from);
     progress(self, st, m.sn, c, lock);
   }
 
-  // Evaluates the Bracha ladder for one candidate. Called under mu_; may
-  // temporarily release it to send messages.
-  void progress(int /*self*/, ServerState& st, std::uint64_t sn,
-                Candidate& c, std::unique_lock<std::mutex>& lock) {
+  // Evaluates the Bracha ladder for one candidate. Called under mu_;
+  // releases it to send messages. Delivery prunes the candidate map, which
+  // invalidates `c` — everything needed is copied out before that.
+  void progress(int self, LadderState& st, std::uint64_t sn, Candidate& c,
+                std::unique_lock<std::mutex>& lock) {
     const int vid = c.value_id;
     bool send_accept = false;
     bool deliver = false;
-    if (!c.sent_accept && (static_cast<int>(c.echoes.size()) >= n_ - f_ ||
-                           static_cast<int>(c.accepts.size()) >= f_ + 1)) {
+    if (!c.sent_accept &&
+        (static_cast<int>(c.echoes.size()) >= this->n_ - this->f_ ||
+         static_cast<int>(c.accepts.size()) >= this->f_ + 1)) {
       c.sent_accept = true;
       send_accept = true;
     }
-    if (!c.delivered && static_cast<int>(c.accepts.size()) >= n_ - f_) {
-      c.delivered = true;
+    if (static_cast<int>(c.accepts.size()) >= this->n_ - this->f_) {
       deliver = true;
-      if (sn > st.stored_sn) {
-        st.stored_sn = sn;
-        st.stored_val = values_[static_cast<std::size_t>(vid)];
-      }
+      this->apply_locked(self, sn, vid);
+      st.delivered.insert(sn);
+      st.cands.erase(sn);  // prune: c is dangling beyond this point
     }
     lock.unlock();
     if (send_accept) {
       Message acc;
-      acc.reg = reg_id_;
+      acc.reg = this->reg_id_;
       acc.type = "ACCEPT";
       acc.sn = sn;
-      acc.payload = values_snapshot(vid);
+      acc.payload = value_snapshot(vid);
       net_->broadcast(acc);
     }
     if (deliver) {
       Message ack;
-      ack.reg = reg_id_;
+      ack.reg = this->reg_id_;
       ack.type = "ACK";
       ack.sn = sn;
-      ack.to = owner_;
+      ack.to = this->owner_;
       net_->send(ack);
     }
     lock.lock();
   }
 
-  void on_read(int self, const Message& m) {
-    Message reply;
-    reply.reg = reg_id_;
-    reply.type = "STATE";
-    reply.sn = m.sn;  // rid
-    reply.to = m.from;
-    {
-      std::scoped_lock lock(mu_);
-      const ServerState& st = state_[static_cast<std::size_t>(self)];
-      reply.payload = std::pair<std::uint64_t, T>(st.stored_sn, st.stored_val);
-    }
-    net_->send(reply);
-  }
-
-  void on_state(const Message& m) {
-    std::scoped_lock lock(mu_);
-    auto it = reads_.find(m.sn);
-    if (it == reads_.end()) return;  // reply to a finished/foreign read
-    const auto& [sn, val] = std::any_cast<const std::pair<std::uint64_t, T>&>(
-        m.payload);
-    if (!it->second.senders.insert(m.from).second) return;  // dup sender
-    it->second.support[{sn, intern(val)}].insert(m.from);
-    cv_.notify_all();
-  }
-
-  T values_snapshot(int vid) {
-    std::scoped_lock lock(mu_);
-    return values_[static_cast<std::size_t>(vid)];
+  T value_snapshot(int vid) {
+    std::scoped_lock lock(this->mu_);
+    return this->values_[static_cast<std::size_t>(vid)];
   }
 
   Network* net_;
-  int reg_id_;
-  int n_;
-  int f_;
-  runtime::ProcessId owner_;
-  runtime::ProcessId sole_reader_;  // kNoProcess = SWMR
-  std::string name_;
-  T initial_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<T> values_;                  // interned values
-  std::vector<ServerState> state_;         // per process
-  std::uint64_t write_sn_ = 0;             // owner-local
-  T owner_view_;                           // owner-local latest value
+  std::vector<LadderState> ladder_;              // per process
   std::map<std::uint64_t, std::set<int>> acks_;  // per write sn
-  std::uint64_t read_rid_ = 0;
-  std::map<std::uint64_t, ReadWait> reads_;
 };
 
 // SWSR flavor: same protocol, read restricted to one process.
@@ -394,41 +302,14 @@ class EmulatedSpace {
   };
 
   explicit EmulatedSpace(Options options)
-      : options_(options), net_(Network::Options{options.n,
-                                                 options.reorder_seed}) {
-    for (int pid = 1; pid <= options_.n; ++pid) {
-      servers_.emplace_back([this, pid](std::stop_token st) {
-        runtime::ThisProcess::Binder bind(pid);
-        while (!st.stop_requested()) {
-          auto m = net_.recv(st);
-          if (!m) continue;
-          detail::HandlerBase* handler = nullptr;
-          {
-            std::scoped_lock lock(mu_);
-            if (m->reg >= 0 &&
-                m->reg < static_cast<int>(registry_.size()))
-              handler = registry_[static_cast<std::size_t>(m->reg)].get();
-          }
-          if (handler) {
-            try {
-              handler->handle(*m);
-            } catch (const std::bad_any_cast&) {
-              // Malformed payload from a Byzantine sender: drop it, exactly
-              // as a deserialization failure would be dropped in a real
-              // system.
-            }
-          }
-        }
-      });
-    }
-  }
+      : options_(options),
+        net_(Network::Options{options.n, options.reorder_seed}),
+        pool_(net_, options.n,
+              [this](int, const Message& m) { dispatch(m); }) {}
 
   ~EmulatedSpace() { stop(); }
 
-  void stop() {
-    for (auto& t : servers_) t.request_stop();
-    servers_.clear();
-  }
+  void stop() { pool_.stop(); }
 
   template <typename T>
   EmulatedSwmr<T>& make_swmr(runtime::ProcessId owner, T initial,
@@ -461,11 +342,27 @@ class EmulatedSpace {
   const Options& options() const { return options_; }
 
  private:
+  void dispatch(const Message& m) {
+    detail::HandlerBase* handler = nullptr;
+    {
+      std::scoped_lock lock(mu_);
+      if (m.reg >= 0 && m.reg < static_cast<int>(registry_.size()))
+        handler = registry_[static_cast<std::size_t>(m.reg)].get();
+    }
+    if (!handler) return;
+    try {
+      handler->handle(m);
+    } catch (const std::bad_any_cast&) {
+      // Malformed payload from a Byzantine sender: drop it, exactly as a
+      // deserialization failure would be dropped in a real system.
+    }
+  }
+
   Options options_;
   Network net_;
   std::mutex mu_;
   std::vector<std::unique_ptr<detail::HandlerBase>> registry_;
-  std::vector<std::jthread> servers_;
+  detail::ServerPool pool_;  // last member: threads stop before state dies
 };
 
 }  // namespace swsig::msgpass

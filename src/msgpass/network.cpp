@@ -50,10 +50,11 @@ void Network::deliver(Message m) {
 std::optional<Message> Network::recv(std::stop_token st) {
   Inbox& inbox = inbox_for(runtime::ThisProcess::id());
   std::unique_lock lock(inbox.mu);
-  while (inbox.queue.empty()) {
-    if (st.stop_requested()) return std::nullopt;
-    inbox.cv.wait_for(lock, std::chrono::milliseconds(1));
-  }
+  // Stop-token-aware wait: returns false (with the queue still empty) when
+  // the token is stopped before a message arrives. No timed polling — the
+  // stop request itself wakes the wait.
+  if (!inbox.cv.wait(lock, st, [&] { return !inbox.queue.empty(); }))
+    return std::nullopt;
   std::size_t index = 0;
   if (options_.reorder_seed != 0 && inbox.queue.size() > 1)
     index = static_cast<std::size_t>(

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <optional>
 #include <stop_token>
+#include <thread>
 #include <vector>
 
 #include "msgpass/message.hpp"
@@ -55,7 +56,9 @@ class Network {
  private:
   struct Inbox {
     std::mutex mu;
-    std::condition_variable cv;
+    // _any so recv() can wait with a stop_token (no polling): a stop
+    // request wakes the waiter exactly like a delivery does.
+    std::condition_variable_any cv;
     std::deque<Message> queue;
     util::Rng rng{0};
   };
@@ -67,5 +70,31 @@ class Network {
   std::vector<std::unique_ptr<Inbox>> inboxes_;  // index by pid
   std::atomic<std::uint64_t> sent_{0};
 };
+
+// Polls `count` — typically [&]{ return net.messages_sent(); }, or an
+// aggregate across shards — until it is stable for `stable_polls`
+// consecutive intervals, then returns the stable value. Client write
+// operations return on n−f ACKs, so protocol traffic from the trailing f
+// servers is still in flight when the call returns; benchmarks and tests
+// that assert on message counts use this to drain that tail first.
+// Multiple stable polls are required so a briefly descheduled server
+// thread holding a still-cascading message doesn't end the wait early.
+template <typename CountFn>
+std::uint64_t drain_message_count(
+    CountFn&& count, std::chrono::milliseconds poll = std::chrono::milliseconds(5),
+    int stable_polls = 3) {
+  std::uint64_t prev = count();
+  for (int stable = 0; stable < stable_polls;) {
+    std::this_thread::sleep_for(poll);
+    const std::uint64_t cur = count();
+    if (cur == prev) {
+      ++stable;
+    } else {
+      stable = 0;
+      prev = cur;
+    }
+  }
+  return prev;
+}
 
 }  // namespace swsig::msgpass

@@ -1,0 +1,54 @@
+// Per-process server threads for message-passing protocol objects.
+//
+// Every msgpass protocol (EmulatedSpace, BatchedEmulatedSpace shards,
+// WitnessBroadcast) runs the same skeleton: one thread per process p1..pn,
+// bound to its pid, pulling from the shared Network and dispatching to a
+// handler. ServerPool owns that skeleton so the protocols only supply the
+// handler body.
+#pragma once
+
+#include <functional>
+#include <stop_token>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "msgpass/network.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::msgpass::detail {
+
+class ServerPool {
+ public:
+  using Handler = std::function<void(int self, const Message&)>;
+
+  // Spawns one server thread per process 1..n; each binds its pid and feeds
+  // received messages to `handle`. The pool must outlive nothing that
+  // `handle` touches — callers stop() it before tearing protocol state down.
+  ServerPool(Network& net, int n, Handler handle) {
+    for (int pid = 1; pid <= n; ++pid) {
+      threads_.emplace_back([&net, pid, handle](std::stop_token st) {
+        runtime::ThisProcess::Binder bind(pid);
+        while (!st.stop_requested()) {
+          auto m = net.recv(st);
+          if (m) handle(pid, *m);
+        }
+      });
+    }
+  }
+
+  ~ServerPool() { stop(); }
+
+  ServerPool(const ServerPool&) = delete;
+  ServerPool& operator=(const ServerPool&) = delete;
+
+  void stop() {
+    for (auto& t : threads_) t.request_stop();
+    threads_.clear();
+  }
+
+ private:
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace swsig::msgpass::detail

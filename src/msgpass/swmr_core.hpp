@@ -1,0 +1,224 @@
+// Shared register core for the message-passing SWMR emulations.
+//
+// EmulatedSwmr (per-write ladder) and BatchedSwmr (per-round ladder) differ
+// only in how a write reaches the servers; everything else — the owner's
+// writer-mutex discipline and sn-monotone local view, value interning, the
+// per-process stored (sn, value) state, and the READ/STATE quorum read —
+// is identical and lives here so a protocol fix lands in both substrates
+// at once (the same reason detail::ServerPool owns the server loops).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "msgpass/network.hpp"
+#include "registers/errors.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::msgpass::detail {
+
+template <typename T>
+class SwmrCore {
+ public:
+  const std::string& name() const { return name_; }
+  runtime::ProcessId owner() const { return owner_; }
+
+ protected:
+  SwmrCore(int reg_id, int n, int f, runtime::ProcessId owner, T initial,
+           std::string name, runtime::ProcessId sole_reader)
+      : reg_id_(reg_id),
+        n_(n),
+        f_(f),
+        owner_(owner),
+        sole_reader_(sole_reader),
+        name_(std::move(name)),
+        owner_view_(initial) {
+    state_.resize(static_cast<std::size_t>(n_) + 1);
+    for (int pid = 0; pid <= n_; ++pid) {
+      state_[static_cast<std::size_t>(pid)].stored_sn = 0;
+      state_[static_cast<std::size_t>(pid)].stored_val = initial;
+    }
+  }
+
+  struct StoredState {
+    std::uint64_t stored_sn = 0;
+    T stored_val{};
+  };
+  struct ReadWait {
+    std::set<int> senders;
+    // (sn, value_id) -> supporting processes
+    std::map<std::pair<std::uint64_t, int>, std::set<int>> support;
+  };
+
+  void require_owner(const char* op) const {
+    if (runtime::ThisProcess::id() != owner_)
+      throw registers::PortViolation(std::string(op) + " on emulated '" +
+                                     name_ + "' by non-owner p" +
+                                     std::to_string(runtime::ThisProcess::id()));
+  }
+
+  // Interns a value under mu_ (caller holds it), returning a stable id
+  // (values are only ever compared for equality; ids keep the protocol
+  // maps cheap and hashable-free).
+  int intern_locked(const T& v) {
+    for (std::size_t i = 0; i < values_.size(); ++i)
+      if (values_[i] == v) return static_cast<int>(i);
+    values_.push_back(v);
+    return static_cast<int>(values_.size()) - 1;
+  }
+
+  // Allocates the next write sn and updates owner_view_ sn-monotonically,
+  // so an owner-local read never observes an older value after a higher sn
+  // was handed to the write path. Caller holds writer_mu_.
+  std::uint64_t allocate_sn_locked(const T& v) {
+    std::scoped_lock lock(mu_);
+    const std::uint64_t sn = ++write_sn_;
+    if (sn >= owner_view_sn_) {
+      owner_view_ = v;
+      owner_view_sn_ = sn;
+    }
+    return sn;
+  }
+
+  // Owner read-modify-write, shared by both substrates (they differ only in
+  // how the new value reaches the servers — the `commit` step). Holds
+  // writer_mu_ across the whole read-compute-commit: without it, two owner
+  // threads both read the same owner_view_, each apply their fn, and the
+  // second commit erases the first's modification (lost update). `commit`
+  // runs with writer_mu_ held and must block until the write is durable.
+  template <typename F, typename Commit>
+  T update_with(F&& fn, Commit&& commit) {
+    std::scoped_lock wl(writer_mu_);
+    T next;
+    bool changed;
+    {
+      std::scoped_lock lock(mu_);
+      next = owner_view_;
+      fn(next);
+      changed = !(next == owner_view_);
+    }
+    if (changed) commit(next);
+    return next;
+  }
+
+  // Read by any process (or the sole reader, for SWSR use): broadcast READ
+  // on `net`, return the value of the highest (sn, value) pair reported
+  // identically by n−f distinct processes; retry until stores converge.
+  T read_via(Network& net) {
+    const runtime::ProcessId self = runtime::ThisProcess::id();
+    if (sole_reader_ != runtime::kNoProcess && self != sole_reader_ &&
+        self != owner_) {
+      throw registers::PortViolation("read of emulated SWSR '" + name_ +
+                                     "' by p" + std::to_string(self));
+    }
+    if (self == owner_) {
+      // The single writer's latest write is trivially the current value.
+      std::scoped_lock lock(mu_);
+      return owner_view_;
+    }
+    for (;;) {
+      std::uint64_t rid;
+      {
+        std::scoped_lock lock(mu_);
+        rid = ++read_rid_;
+        reads_[rid];  // create wait slot
+      }
+      Message m;
+      m.reg = reg_id_;
+      m.type = "READ";
+      m.sn = rid;
+      net.broadcast(m);
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return static_cast<int>(reads_[rid].senders.size()) >= n_ - f_;
+      });
+      // Highest pair reported identically by n−f distinct processes.
+      std::optional<T> result;
+      std::uint64_t best_sn = 0;
+      bool found = false;
+      for (const auto& [key, support] : reads_[rid].support) {
+        if (static_cast<int>(support.size()) >= n_ - f_ &&
+            (!found || key.first > best_sn)) {
+          best_sn = key.first;
+          result = values_.at(static_cast<std::size_t>(key.second));
+          found = true;
+        }
+      }
+      reads_.erase(rid);
+      if (found) return *result;
+      // No quorum-supported pair among these replies (stores still
+      // converging): retry with a fresh request.
+      lock.unlock();
+      std::this_thread::yield();
+    }
+  }
+
+  // Server side of read_via: reply with process `self`'s stored pair.
+  void serve_read(Network& net, int self, const Message& m) {
+    Message reply;
+    reply.reg = reg_id_;
+    reply.type = "STATE";
+    reply.sn = m.sn;  // rid
+    reply.to = m.from;
+    {
+      std::scoped_lock lock(mu_);
+      const StoredState& st = state_[static_cast<std::size_t>(self)];
+      reply.payload = std::pair<std::uint64_t, T>(st.stored_sn, st.stored_val);
+    }
+    net.send(reply);
+  }
+
+  // Client side of read_via: account a STATE reply.
+  void accept_state(const Message& m) {
+    std::scoped_lock lock(mu_);
+    auto it = reads_.find(m.sn);
+    if (it == reads_.end()) return;  // reply to a finished/foreign read
+    const auto& [sn, val] =
+        std::any_cast<const std::pair<std::uint64_t, T>&>(m.payload);
+    if (!it->second.senders.insert(m.from).second) return;  // dup sender
+    it->second.support[{sn, intern_locked(val)}].insert(m.from);
+    cv_.notify_all();
+  }
+
+  // Applies a delivered (sn, value id) to process `self`'s stored state,
+  // sn-monotone — late or reordered deliveries cannot roll it back.
+  // Caller holds mu_.
+  void apply_locked(int self, std::uint64_t sn, int vid) {
+    StoredState& st = state_[static_cast<std::size_t>(self)];
+    if (sn > st.stored_sn) {
+      st.stored_sn = sn;
+      st.stored_val = values_[static_cast<std::size_t>(vid)];
+    }
+  }
+
+  const int reg_id_;
+  const int n_;
+  const int f_;
+  const runtime::ProcessId owner_;
+  const runtime::ProcessId sole_reader_;  // kNoProcess = SWMR
+  const std::string name_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Serializes the owner's writing threads (op + Help) whole-operation —
+  // the seqlock engine's writer-mutex discipline (registers/storage.hpp);
+  // never touched by readers.
+  std::mutex writer_mu_;
+  std::vector<T> values_;            // interned values
+  std::vector<StoredState> state_;   // per process
+  std::uint64_t write_sn_ = 0;       // owner-local
+  T owner_view_;                     // owner-local latest value
+  std::uint64_t owner_view_sn_ = 0;  // sn owner_view_ corresponds to
+  std::uint64_t read_rid_ = 0;
+  std::map<std::uint64_t, ReadWait> reads_;
+};
+
+}  // namespace swsig::msgpass::detail

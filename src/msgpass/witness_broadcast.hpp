@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "msgpass/network.hpp"
+#include "msgpass/server_pool.hpp"
 #include "runtime/process.hpp"
 
 namespace swsig::msgpass {
@@ -40,25 +41,14 @@ class WitnessBroadcast {
 
   WitnessBroadcast(Options options, std::uint64_t reorder_seed = 0)
       : options_(options),
-        net_(Network::Options{options.n, reorder_seed}) {
-    state_.resize(static_cast<std::size_t>(options_.n) + 1);
-    for (int pid = 1; pid <= options_.n; ++pid) {
-      servers_.emplace_back([this, pid](std::stop_token st) {
-        runtime::ThisProcess::Binder bind(pid);
-        while (!st.stop_requested()) {
-          auto m = net_.recv(st);
-          if (m) handle(pid, *m);
-        }
-      });
-    }
-  }
+        net_(Network::Options{options.n, reorder_seed}),
+        state_(static_cast<std::size_t>(options.n) + 1),
+        pool_(net_, options.n,
+              [this](int self, const Message& m) { handle(self, m); }) {}
 
   ~WitnessBroadcast() { stop(); }
 
-  void stop() {
-    for (auto& t : servers_) t.request_stop();
-    servers_.clear();
-  }
+  void stop() { pool_.stop(); }
 
   // Broadcast `value` under the caller's (bound) identity with sequence
   // number `seq`. Returns immediately — delivery is eventual.
@@ -183,7 +173,7 @@ class WitnessBroadcast {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<PerProcess> state_;
-  std::vector<std::jthread> servers_;
+  detail::ServerPool pool_;  // last member: threads stop before state dies
 };
 
 }  // namespace swsig::msgpass

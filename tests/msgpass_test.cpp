@@ -132,6 +132,137 @@ TEST_F(EmulatedTest, UpdateIsOwnerRmw) {
   EXPECT_EQ(reg.read(), (std::set<int>{3, 5}));
 }
 
+// ------------------- owner-RMW race regression (PR 4) -------------------
+// update() must hold a writer-side mutex across the whole
+// read-compute-write. Before the fix it read owner_view_, unlocked, then
+// called write() — two owner-bound threads (the model's op thread and its
+// Help() thread, which Algorithms 1–3 run concurrently) could both read
+// the same view, and the second write erased the first's insert (a lost
+// update).
+//
+// To pin that interleaving deterministically, RaceHook::Payload's copy
+// constructor blocks the FIRST copy performed by the armed thread after
+// arming — which is exactly write()'s by-value argument copy, the copy the
+// buggy code performed outside any lock — until the partner thread's whole
+// update() has completed. The fixed code performs that copy while still
+// holding the writer mutex, so the partner cannot run and the hook falls
+// through on its timeout instead.
+namespace RaceHook {
+std::atomic<bool> armed{false};
+std::atomic<std::thread::id> armed_thread{};
+std::atomic<bool> partner_done{false};
+
+struct Payload {
+  std::set<int> s;
+  Payload() = default;
+  Payload(const Payload& o) : s(o.s) { maybe_block(); }
+  Payload(Payload&&) = default;
+  Payload& operator=(const Payload&) = default;
+  Payload& operator=(Payload&&) = default;
+  bool operator==(const Payload& o) const { return s == o.s; }
+
+  static void maybe_block() {
+    if (!armed.load(std::memory_order_acquire)) return;
+    if (armed_thread.load() != std::this_thread::get_id()) return;
+    if (!armed.exchange(false)) return;  // trip once
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+    while (!partner_done.load() &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+};
+}  // namespace RaceHook
+
+TEST_F(EmulatedTest, UpdateHoldsWriterMutexAcrossReadComputeWrite) {
+  RaceHook::armed = false;
+  RaceHook::partner_done = false;
+  auto& reg = space.make_swmr<RaceHook::Payload>(1, {}, "r");
+  std::thread a([&] {
+    ThisProcess::Binder bind(1);
+    reg.update([](RaceHook::Payload& p) {
+      p.s.insert(1);
+      // Arm AFTER update() captured its copy of owner_view_: the next copy
+      // on this thread is the one handed to the write path.
+      RaceHook::armed_thread.store(std::this_thread::get_id());
+      RaceHook::armed.store(true, std::memory_order_release);
+    });
+  });
+  std::thread b([&] {
+    ThisProcess::Binder bind(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    reg.update([](RaceHook::Payload& p) { p.s.insert(2); });
+    RaceHook::partner_done.store(true);
+  });
+  a.join();
+  b.join();
+  ThisProcess::Binder bind(1);
+  const auto s = reg.read().s;
+  EXPECT_TRUE(s.contains(1)) << "thread a's insert was lost";
+  EXPECT_TRUE(s.contains(2)) << "thread b's insert was lost";
+}
+
+// Statistical companion to the deterministic test above: hammer update()
+// from two owner-bound threads; every insert must survive. Run under ASan
+// in CI like every other suite.
+TEST_F(EmulatedTest, OwnerRmwFromTwoThreadsLosesNoUpdates) {
+  auto& reg = space.make_swmr<std::set<int>>(1, {}, "r");
+  constexpr int kPerThread = 40;
+  std::thread a([&] {
+    ThisProcess::Binder bind(1);
+    for (int i = 0; i < kPerThread; ++i)
+      reg.update([&](std::set<int>& s) { s.insert(i); });
+  });
+  std::thread b([&] {
+    ThisProcess::Binder bind(1);
+    for (int i = 0; i < kPerThread; ++i)
+      reg.update([&](std::set<int>& s) { s.insert(1000 + i); });
+  });
+  a.join();
+  b.join();
+  {
+    ThisProcess::Binder bind(1);
+    EXPECT_EQ(reg.read().size(), 2u * kPerThread);  // owner-local view
+  }
+  ThisProcess::Binder bind(2);
+  EXPECT_EQ(reg.read().size(), 2u * kPerThread);  // quorum view
+}
+
+// Regression (PR 4): the owner's local view stays coherent under
+// concurrent owner writers. Pre-fix, write() assigned owner_view_ with no
+// writer-side serialization and no sn ordering, so with two owner-bound
+// threads writing (the model's op + Help() threads) the owner could be
+// left holding the OLDER value while the higher sn was broadcast — an
+// owner-local read then disagreed with the quorum. Post-fix (writer_mu_
+// plus the sn-monotone assignment in allocate_sn_locked) the owner-local
+// read must equal the quorum read once traffic drains.
+TEST(EmulatedOwnerView, AgreesWithQuorumUnderConcurrentWriters) {
+  for (int round = 0; round < 8; ++round) {
+    EmulatedSpace space({.n = 4, .f = 1});
+    auto& reg = space.make_swmr<int>(1, 0, "r");
+    std::thread a([&] {
+      ThisProcess::Binder bind(1);
+      for (int v = 1; v <= 10; ++v) reg.write(v);
+    });
+    std::thread b([&] {
+      ThisProcess::Binder bind(1);
+      for (int v = 101; v <= 110; ++v) reg.write(v);
+    });
+    a.join();
+    b.join();
+    // Let the trailing f servers' protocol traffic drain so the quorum
+    // read below is the converged highest-sn value.
+    drain_message_count([&] { return space.network().messages_sent(); });
+    int local;
+    {
+      ThisProcess::Binder bind(1);
+      local = reg.read();  // owner-local: owner_view_
+    }
+    ThisProcess::Binder bind(2);
+    EXPECT_EQ(local, reg.read()) << "round " << round;
+  }
+}
+
 TEST_F(EmulatedTest, SwsrReaderEnforced) {
   auto& reg = space.make_swsr<int>(1, 3, 9, "r13");
   {

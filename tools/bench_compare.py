@@ -4,6 +4,7 @@
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
                            [--warn-only]
+    tools/bench_compare.py --self-test
 
 Metrics are compared by key (only keys present in both dumps). Lower is
 better, except keys ending in "_per_s", "_ops" or "_speedup", which are
@@ -11,10 +12,17 @@ higher-is-better. A metric regresses when it is worse than the baseline by
 more than the threshold (relative). Exit status is 1 when any metric
 regressed, unless --warn-only is given (CI uses --warn-only so noisy
 runners cannot turn the perf-smoke job red).
+
+Malformed metrics never crash the comparison: non-numeric or non-finite
+values are skipped with a warning, and a zero baseline (which would make
+the relative ratio meaningless) skips that metric with a warning instead
+of printing an infinite ratio. --self-test runs the built-in unit checks
+(wired into CTest as bench_compare_selftest).
 """
 
 import argparse
 import json
+import math
 import sys
 
 HIGHER_IS_BETTER_SUFFIXES = ("_per_s", "_ops", "_speedup")
@@ -30,10 +38,23 @@ def load_metrics(path: str) -> dict:
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         raise SystemExit(f"{path}: no 'metrics' object")
-    return {k: float(v) for k, v in metrics.items()}
+    out = {}
+    for key, value in metrics.items():
+        try:
+            fv = float(value)
+        except (TypeError, ValueError):
+            print(f"bench_compare: {path}: metric '{key}' is not numeric "
+                  f"({value!r}); skipped")
+            continue
+        if not math.isfinite(fv):
+            print(f"bench_compare: {path}: metric '{key}' is not finite "
+                  f"({fv}); skipped")
+            continue
+        out[key] = fv
+    return out
 
 
-def main() -> int:
+def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
@@ -41,7 +62,7 @@ def main() -> int:
                     help="relative regression threshold (default 0.15)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but always exit 0")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
@@ -54,7 +75,13 @@ def main() -> int:
     print(f"{'metric':<44} {'baseline':>12} {'current':>12} {'ratio':>8}")
     for key in shared:
         b, c = base[key], cur[key]
-        ratio = c / b if b else float("inf")
+        if b == 0:
+            # A relative comparison against zero is meaningless (and the
+            # naive ratio would be inf); warn and move on.
+            print(f"{key:<44} {b:>12.4g} {c:>12.4g} {'n/a':>8}  SKIPPED "
+                  f"(zero baseline)")
+            continue
+        ratio = c / b
         if higher_is_better(key):
             regressed = c < b * (1.0 - args.threshold)
         else:
@@ -77,5 +104,70 @@ def main() -> int:
     return 0
 
 
+def run_self_test() -> int:
+    """Unit-style checks for the comparison logic (CTest target)."""
+    import os
+    import tempfile
+
+    failures = []
+
+    def check(name: str, cond: bool) -> None:
+        print(f"self-test: {'ok  ' if cond else 'FAIL'} {name}")
+        if not cond:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as td:
+        def dump(name: str, metrics: dict) -> str:
+            path = os.path.join(td, name)
+            with open(path, "w") as f:
+                json.dump({"bench": "selftest", "metrics": metrics}, f)
+            return path
+
+        base = dump("base.json", {"a_us": 100.0, "zero_us": 0.0,
+                                  "junk": "fast", "thr_ops": 100.0})
+
+        check("non-numeric metric values are skipped by the loader",
+              "junk" not in load_metrics(base))
+        check("numeric-as-string values are kept by the loader",
+              load_metrics(dump("str.json", {"a_us": "12.5"})) ==
+              {"a_us": 12.5})
+
+        same = dump("same.json", {"a_us": 100.0, "zero_us": 5.0,
+                                  "junk": "slow", "thr_ops": 100.0})
+        check("zero baseline is skipped (no inf ratio, no crash, exit 0)",
+              main([base, same]) == 0)
+
+        slower = dump("slower.json", {"a_us": 200.0, "zero_us": 5.0,
+                                      "thr_ops": 100.0})
+        check("lower-is-better regression exits 1",
+              main([base, slower]) == 1)
+        check("--warn-only exits 0 on regression",
+              main([base, slower, "--warn-only"]) == 0)
+
+        fewer_ops = dump("fewer_ops.json", {"thr_ops": 10.0})
+        check("higher-is-better suffix regression exits 1",
+              main([base, fewer_ops]) == 1)
+        more_ops = dump("more_ops.json", {"thr_ops": 500.0})
+        check("higher-is-better improvement exits 0",
+              main([base, more_ops]) == 0)
+
+        within = dump("within.json", {"a_us": 110.0, "thr_ops": 95.0})
+        check("changes within the threshold exit 0",
+              main([base, within]) == 0)
+
+        disjoint = dump("disjoint.json", {"other_us": 1.0})
+        check("no shared metrics exits 1", main([base, disjoint]) == 1)
+        check("no shared metrics with --warn-only exits 0",
+              main([base, disjoint, "--warn-only"]) == 0)
+
+    if failures:
+        print(f"self-test: {len(failures)} check(s) failed")
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(run_self_test())
     sys.exit(main())
