@@ -1,0 +1,177 @@
+// T13 — Linearizability-checker scaling: the partitioned + pruned
+// Wing–Gong checker on generated wide histories.
+//
+// Histories are widened sequential executions: a valid sequential run over
+// k registers gets every interval stretched by a jitter J around its
+// linearization point, so operations overlap ~2J/spacing neighbors while
+// the history stays linearizable by construction. We measure wall time and
+// states_explored as history length, register count, and concurrency width
+// grow — and pin the brute-force baseline (the pre-partitioning checker)
+// on the largest history it accepts, plus an unpartitioned ablation that
+// shows what P-compositional partitioning buys.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/baseline.hpp"
+#include "bench/common.hpp"
+#include "lincheck/checker.hpp"
+#include "lincheck/history.hpp"
+#include "lincheck/history_gen.hpp"
+#include "lincheck/register_specs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace swsig;
+using lincheck::CheckOptions;
+using lincheck::CheckResult;
+using lincheck::Operation;
+using lincheck::SpecFactory;
+using lincheck::Verdict;
+
+SpecFactory plain_factory() {
+  return [](const std::string&) {
+    return std::make_unique<lincheck::PlainRegisterSpec>("0");
+  };
+}
+
+// Widened sequential execution (lincheck/history_gen.hpp): linearizable by
+// construction, overlap controlled by `jitter`.
+std::vector<Operation> gen_history(int registers, int nops,
+                                   std::uint64_t jitter, std::uint64_t seed) {
+  lincheck::WidenedHistoryOptions opt;
+  opt.registers = registers;
+  opt.nops = nops;
+  opt.jitter = jitter;
+  return lincheck::gen_widened_sequential(opt, seed);
+}
+
+struct Measured {
+  double us = 0.0;
+  std::uint64_t states = 0;
+  Verdict verdict = Verdict::kViolation;
+};
+
+Measured measure(const std::vector<Operation>& ops, const CheckOptions& opts,
+                 int iterations) {
+  Measured m;
+  util::Samples samples;
+  CheckResult result;
+  for (int i = 0; i < iterations; ++i)
+    samples.add(bench::time_us(
+        [&] { result = check_linearizable(ops, plain_factory(), opts); }));
+  m.us = samples.median();
+  m.states = result.states_explored;
+  m.verdict = result.verdict;
+  return m;
+}
+
+const char* verdict_str(Verdict v) {
+  switch (v) {
+    case Verdict::kLinearizable:
+      return "lin";
+    case Verdict::kViolation:
+      return "viol";
+    case Verdict::kBudgetExhausted:
+      return "budget";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter report(argc, argv, "lincheck");
+
+  bench::heading(
+      "T13 — partitioned+pruned checker on widened sequential histories "
+      "(median us over 5 runs)");
+  util::Table table(
+      {"registers", "ops", "jitter", "check us", "states", "verdict"});
+  struct Config {
+    int registers;
+    int nops;
+    std::uint64_t jitter;
+  };
+  for (const Config& c : std::vector<Config>{{1, 64, 150},
+                                             {4, 256, 150},
+                                             {4, 256, 400},
+                                             {8, 1024, 400}}) {
+    const auto ops = gen_history(c.registers, c.nops, c.jitter, 42);
+    const Measured m = measure(ops, CheckOptions{}, 5);
+    table.add_row({util::Table::num(c.registers), util::Table::num(c.nops),
+                   util::Table::num(static_cast<double>(c.jitter)),
+                   util::Table::num(m.us),
+                   util::Table::num(static_cast<double>(m.states)),
+                   verdict_str(m.verdict)});
+    if (m.verdict != Verdict::kLinearizable) {
+      std::cerr << "bench_lincheck: generated history unexpectedly "
+                << verdict_str(m.verdict) << "\n";
+      return 1;
+    }
+    const std::string tag = "lincheck.k" + std::to_string(c.registers) +
+                            ".ops" + std::to_string(c.nops) + ".j" +
+                            std::to_string(c.jitter);
+    report.metric(tag + ".check_us", m.us);
+    report.metric(tag + ".states", static_cast<double>(m.states));
+  }
+  table.print();
+
+  // Brute-force baseline on the largest history the 62-op cap accepts.
+  bench::heading("T13b — brute force vs pruned (32 ops, 1 register)");
+  {
+    const auto ops = gen_history(1, 32, 150, 7);
+    util::Samples brute_samples;
+    CheckResult brute;
+    for (int i = 0; i < 5; ++i)
+      brute_samples.add(bench::time_us([&] {
+        brute = check_linearizable_brute(
+            ops, lincheck::PlainRegisterSpec("0"));
+      }));
+    const Measured pruned = measure(ops, CheckOptions{}, 5);
+    const double brute_us = brute_samples.median();
+    const double speedup = pruned.us > 0 ? brute_us / pruned.us : 0.0;
+    util::Table t2({"checker", "check us", "states"});
+    t2.add_row({"brute", util::Table::num(brute_us),
+                util::Table::num(static_cast<double>(brute.states_explored))});
+    t2.add_row({"pruned", util::Table::num(pruned.us),
+                util::Table::num(static_cast<double>(pruned.states))});
+    t2.print();
+    report.metric("lincheck.brute.ops32.check_us", brute_us);
+    report.metric("lincheck.pruned.ops32.check_us", pruned.us);
+    report.metric("lincheck.ops32_speedup", speedup);
+  }
+
+  // Partitioning ablation: the same multi-register history checked as ONE
+  // unpartitioned search (product spec). The states blowup is the point.
+  bench::heading("T13c — partitioning ablation (4 registers, 64 ops)");
+  {
+    const auto ops = gen_history(4, 64, 150, 11);
+    const Measured part = measure(ops, CheckOptions{}, 5);
+    CheckOptions whole;
+    whole.partition_by_object = false;
+    util::Samples samples;
+    CheckResult result;
+    for (int i = 0; i < 3; ++i)
+      samples.add(bench::time_us([&] {
+        result = check_linearizable(
+            ops, lincheck::MultiObjectSpec(plain_factory()), whole);
+      }));
+    util::Table t3({"mode", "check us", "states", "verdict"});
+    t3.add_row({"partitioned", util::Table::num(part.us),
+                util::Table::num(static_cast<double>(part.states)),
+                verdict_str(part.verdict)});
+    t3.add_row({"unpartitioned", util::Table::num(samples.median()),
+                util::Table::num(static_cast<double>(result.states_explored)),
+                verdict_str(result.verdict)});
+    t3.print();
+    report.metric("lincheck.partitioned.k4.ops64.states",
+                  static_cast<double>(part.states));
+    report.metric("lincheck.unpartitioned.k4.ops64.states",
+                  static_cast<double>(result.states_explored));
+  }
+
+  return 0;
+}

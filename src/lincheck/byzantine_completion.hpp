@@ -18,9 +18,14 @@
 //   * keep all inserted writer operations sequential.
 //
 // This header performs exactly that construction on a recorded history and
-// then runs the standard Wing–Gong checker on the completed history. If
-// the construction is impossible (tv1 <= tv0 — i.e., relay was violated)
-// or the completed history fails the checker, the implementation is NOT
+// then runs the partitioned Wing–Gong checker on the completed history.
+// The construction is per register: windows are keyed by (object, value)
+// and every inserted writer operation inherits the object of the reader
+// operations it justifies, so a multi-register reader history decomposes
+// into per-register completions checked independently — the same
+// P-compositional structure check_linearizable() exploits. If the
+// construction is impossible (tv1 <= tv0 — i.e., relay was violated) or
+// the completed history fails the checker, the implementation is NOT
 // Byzantine linearizable, and we report why.
 #pragma once
 
@@ -29,6 +34,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lincheck/checker.hpp"
@@ -39,8 +45,12 @@ namespace swsig::lincheck {
 
 struct ByzantineCheckResult {
   bool byzantine_linearizable = false;
+  // Verdict of the underlying partitioned check on the completed history
+  // (kViolation when the witness construction itself was impossible).
+  Verdict verdict = Verdict::kViolation;
   std::string reason;  // populated on failure
   std::size_t inserted_ops = 0;
+  std::uint64_t states_explored = 0;
 };
 
 namespace detail {
@@ -60,34 +70,41 @@ inline std::vector<Operation> scale_history(std::vector<Operation> ops,
 
 // `writer_op` is "sign" for the verifiable register (a separate Sign is
 // inserted and a Write before it) or "write" for the authenticated
-// register (Writes only). `v0` is the register's initial value (verifies
+// register (Writes only). `v0` is every register's initial value (verifies
 // true unconditionally for authenticated registers).
 inline ByzantineCheckResult check_byzantine_faulty_writer(
     const std::vector<Operation>& recorded, const SequentialSpec& spec,
-    const std::string& writer_op, const std::string& v0) {
+    const std::string& writer_op, const std::string& v0,
+    const CheckOptions& options = {}) {
   constexpr std::uint64_t kScale = 1000;
   std::vector<Operation> ops = detail::scale_history(recorded, kScale);
 
   ByzantineCheckResult result;
   int next_id = -1;  // inserted ops get negative ids (diagnostics only)
 
-  // ---- Step 2 (Definition 78): per-value Sign/Write inside (tv0, tv1).
-  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> windows;
+  // ---- Step 2 (Definition 78): per-(register, value) Sign/Write inside
+  // (tv0, tv1).
+  std::map<std::pair<std::string, std::string>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      windows;
   for (const Operation& op : ops) {
     if (op.name != "verify") continue;
-    auto& w = windows.try_emplace(op.arg, 0,
-                                  std::numeric_limits<std::uint64_t>::max())
+    auto& w = windows
+                  .try_emplace({op.object, op.arg}, 0,
+                               std::numeric_limits<std::uint64_t>::max())
                   .first->second;
     if (op.result == "false") w.first = std::max(w.first, op.invoke_ts);
     if (op.result == "true") w.second = std::min(w.second, op.response_ts);
   }
-  for (const auto& [value, window] : windows) {
+  for (const auto& [key, window] : windows) {
+    const auto& [object, value] = key;
     const bool any_true =
         window.second != std::numeric_limits<std::uint64_t>::max();
     if (!any_true) continue;           // nothing to justify
     if (value == v0 && writer_op == "write") continue;  // v0 pre-signed
     if (window.second <= window.first + 1) {
       result.reason = "relay violated for value " + value +
+                      (object.empty() ? "" : " of object '" + object + "'") +
                       ": no room between last verify=false invocation and "
                       "first verify=true response";
       return result;
@@ -97,6 +114,7 @@ inline ByzantineCheckResult check_byzantine_faulty_writer(
     Operation write;
     write.id = next_id--;
     write.pid = 1;
+    write.object = object;
     write.name = "write";
     write.arg = value;
     write.result = "done";
@@ -126,6 +144,7 @@ inline ByzantineCheckResult check_byzantine_faulty_writer(
     Operation write;
     write.id = next_id--;
     write.pid = 1;
+    write.object = op.object;
     write.name = "write";
     write.arg = op.result;
     write.result = "done";
@@ -136,24 +155,31 @@ inline ByzantineCheckResult check_byzantine_faulty_writer(
     ++result.inserted_ops;
   }
 
-  const CheckResult check = check_linearizable(ops, spec);
-  result.byzantine_linearizable = check.linearizable;
-  if (!check.linearizable)
-    result.reason = "completed history is not linearizable";
+  const CheckResult check = check_linearizable(ops, spec, options);
+  result.verdict = check.verdict;
+  result.states_explored = check.states_explored;
+  result.byzantine_linearizable = check.linearizable();
+  if (check.verdict == Verdict::kViolation)
+    result.reason = "completed history is not linearizable (" + check.detail +
+                    ")";
+  else if (check.verdict == Verdict::kBudgetExhausted)
+    result.reason = "undecided: " + check.detail;
   return result;
 }
 
 // Convenience wrappers for the two register types.
 inline ByzantineCheckResult check_byzantine_verifiable(
-    const std::vector<Operation>& recorded, const std::string& v0) {
+    const std::vector<Operation>& recorded, const std::string& v0,
+    const CheckOptions& options = {}) {
   return check_byzantine_faulty_writer(recorded, VerifiableRegisterSpec(v0),
-                                       "sign", v0);
+                                       "sign", v0, options);
 }
 
 inline ByzantineCheckResult check_byzantine_authenticated(
-    const std::vector<Operation>& recorded, const std::string& v0) {
+    const std::vector<Operation>& recorded, const std::string& v0,
+    const CheckOptions& options = {}) {
   return check_byzantine_faulty_writer(
-      recorded, AuthenticatedRegisterSpec(v0), "write", v0);
+      recorded, AuthenticatedRegisterSpec(v0), "write", v0, options);
 }
 
 }  // namespace swsig::lincheck

@@ -2,30 +2,285 @@
 
 #include <algorithm>
 #include <bit>
+#include <set>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "lincheck/partition.hpp"
 
 namespace swsig::lincheck {
 
 namespace {
 
-struct SearchContext {
+enum class Outcome { kFound, kDeadEnd, kBudget };
+
+void append_u32(std::string& key, std::uint32_t v) {
+  key.push_back(static_cast<char>(v & 0xff));
+  key.push_back(static_cast<char>((v >> 8) & 0xff));
+  key.push_back(static_cast<char>((v >> 16) & 0xff));
+  key.push_back(static_cast<char>(v >> 24));
+}
+
+// ---------------------------------------------------------------------------
+// Pruned per-partition search.
+//
+// Operations are sorted by invocation; `frontier` is the first index not yet
+// linearized (everything before it is). A non-linearized operation i can be
+// the next linearization point iff no other non-linearized j strictly
+// precedes it, i.e. iff invoke_ts[i] <= min response_ts over non-linearized
+// operations — so the candidates are a small window just past the frontier,
+// and when the window has size one the operation is *forced* and consumed
+// without branching or memoization.
+// ---------------------------------------------------------------------------
+
+struct PrunedContext {
+  const std::vector<Operation>* ops = nullptr;
+  std::vector<char> done;
+  std::size_t n = 0;
+  std::size_t ndone = 0;
+  std::size_t frontier = 0;
+  // response_ts of all non-linearized ops, so the candidate-window bound
+  // (min pending response) is O(log n) per linearize/undo instead of a
+  // full rescan — the forced fast path stays O(log n) per operation.
+  std::multiset<std::uint64_t> pending_resp;
+  std::unordered_set<std::string> visited;  // dead-end branch configurations
+  std::vector<int> witness;
+  std::uint64_t states = 0;
+  std::uint64_t budget = 0;
+};
+
+void mark_done(PrunedContext& ctx, std::size_t i) {
+  ctx.done[i] = 1;
+  ++ctx.ndone;
+  ctx.pending_resp.erase(ctx.pending_resp.find((*ctx.ops)[i].response_ts));
+  while (ctx.frontier < ctx.n && ctx.done[ctx.frontier]) ++ctx.frontier;
+}
+
+// Does not restore the frontier (callers save/restore it — it can only
+// have moved forward).
+void unmark_done(PrunedContext& ctx, std::size_t i) {
+  ctx.done[i] = 0;
+  --ctx.ndone;
+  ctx.pending_resp.insert((*ctx.ops)[i].response_ts);
+}
+
+// Fills `out` with the indices of all precedence-minimal non-linearized
+// operations. Never empty while operations remain: the operation with the
+// earliest pending response is always minimal.
+void collect_candidates(const PrunedContext& ctx, std::vector<std::size_t>& out) {
+  const auto& ops = *ctx.ops;
+  const std::uint64_t min_resp =
+      ctx.pending_resp.empty() ? ~0ULL : *ctx.pending_resp.begin();
+  out.clear();
+  for (std::size_t i = ctx.frontier; i < ctx.n; ++i) {
+    if (ctx.done[i]) continue;
+    if (ops[i].invoke_ts > min_resp) break;  // sorted: nothing later is minimal
+    out.push_back(i);
+  }
+}
+
+Outcome search(PrunedContext& ctx, const SequentialSpec& spec_in) {
+  std::vector<std::size_t> cand;
+  std::unique_ptr<SequentialSpec> owned;  // cloned lazily for forced applies
+  const SequentialSpec* spec = &spec_in;
+  const std::size_t frontier_before = ctx.frontier;
+
+  std::vector<std::size_t> forced_indices;  // forced ops applied in this frame
+  const auto undo = [&] {
+    for (auto it = forced_indices.rbegin(); it != forced_indices.rend(); ++it) {
+      unmark_done(ctx, *it);
+      ctx.witness.pop_back();
+    }
+    forced_indices.clear();
+    ctx.frontier = frontier_before;
+  };
+
+  // Forced-prefix fast path: consume unique candidates without branching.
+  for (;;) {
+    if (ctx.ndone == ctx.n) return Outcome::kFound;  // witness complete
+    collect_candidates(ctx, cand);
+    if (cand.size() != 1) break;
+    if (++ctx.states > ctx.budget) {
+      undo();
+      return Outcome::kBudget;
+    }
+    const std::size_t i = cand[0];
+    if (!owned) {
+      owned = spec->clone();
+      spec = owned.get();
+    }
+    if (!owned->apply((*ctx.ops)[i])) {
+      undo();
+      return Outcome::kDeadEnd;
+    }
+    mark_done(ctx, i);
+    forced_indices.push_back(i);
+    ctx.witness.push_back((*ctx.ops)[i].id);
+  }
+
+  // Branch point: several truly concurrent candidates. Memoize on
+  // (frontier, linearized-beyond-frontier, spec state).
+  std::string key;
+  key.reserve(4 + 4 * (ctx.ndone - ctx.frontier) + 24);
+  append_u32(key, static_cast<std::uint32_t>(ctx.frontier));
+  for (std::size_t i = ctx.frontier; i < ctx.n; ++i)
+    if (ctx.done[i]) append_u32(key, static_cast<std::uint32_t>(i));
+  key.push_back('#');
+  key += spec->state_key();
+  if (ctx.visited.contains(key)) {
+    undo();
+    return Outcome::kDeadEnd;
+  }
+  if (++ctx.states > ctx.budget) {
+    undo();
+    return Outcome::kBudget;
+  }
+
+  for (const std::size_t i : cand) {
+    auto next = spec->clone();
+    if (!next->apply((*ctx.ops)[i])) continue;
+    const std::size_t frontier_saved = ctx.frontier;
+    mark_done(ctx, i);
+    ctx.witness.push_back((*ctx.ops)[i].id);
+    const Outcome o = search(ctx, *next);
+    if (o == Outcome::kFound) return o;  // keep witness/state as-is
+    ctx.witness.pop_back();
+    unmark_done(ctx, i);
+    ctx.frontier = frontier_saved;
+    if (o == Outcome::kBudget) {
+      undo();
+      return o;
+    }
+  }
+  ctx.visited.insert(std::move(key));
+  undo();
+  return Outcome::kDeadEnd;
+}
+
+struct PartitionResult {
+  Outcome outcome = Outcome::kDeadEnd;
+  std::vector<int> witness;
+  std::uint64_t states = 0;
+};
+
+// Sorts `part` in place (callers own their partitions; downstream witness
+// merging looks operations up by id, not position).
+PartitionResult check_partition(std::vector<Operation>& part,
+                                const SequentialSpec& spec,
+                                std::uint64_t budget) {
+  std::sort(part.begin(), part.end(),
+            [](const Operation& a, const Operation& b) {
+              return a.invoke_ts != b.invoke_ts ? a.invoke_ts < b.invoke_ts
+                                                : a.id < b.id;
+            });
+  PrunedContext ctx;
+  ctx.ops = &part;
+  ctx.n = part.size();
+  ctx.done.assign(part.size(), 0);
+  for (const Operation& op : part) ctx.pending_resp.insert(op.response_ts);
+  ctx.budget = budget;
+  PartitionResult result;
+  result.outcome = search(ctx, spec);
+  result.witness = std::move(ctx.witness);
+  result.states = ctx.states;
+  return result;
+}
+
+std::vector<Operation> drop_pending(const std::vector<Operation>& ops,
+                                    std::size_t& dropped) {
+  std::vector<Operation> completed;
+  completed.reserve(ops.size());
+  for (const Operation& op : ops) {
+    if (op.pending())
+      ++dropped;
+    else
+      completed.push_back(op);
+  }
+  return completed;
+}
+
+}  // namespace
+
+CheckResult check_linearizable(const std::vector<Operation>& ops,
+                               const SpecFactory& make_spec,
+                               const CheckOptions& options) {
+  CheckResult result;
+  const std::vector<Operation> completed = drop_pending(ops, result.pending_dropped);
+
+  std::map<std::string, std::vector<Operation>> parts;
+  if (options.partition_by_object) {
+    parts = partition_by_object(completed);
+  } else if (!completed.empty()) {
+    parts.emplace("", completed);
+  }
+
+  std::map<std::string, std::vector<int>> orders;
+  for (auto& [object, part] : parts) {
+    const std::unique_ptr<SequentialSpec> spec = make_spec(object);
+    const std::uint64_t budget = options.max_states > result.states_explored
+                                     ? options.max_states - result.states_explored
+                                     : 0;
+    PartitionResult pr = check_partition(part, *spec, budget);
+    result.states_explored += pr.states;
+    if (pr.outcome == Outcome::kDeadEnd) {
+      result.verdict = Verdict::kViolation;
+      result.detail = "object '" + object + "' is not linearizable";
+      result.witness.clear();
+      return result;
+    }
+    if (pr.outcome == Outcome::kBudget) {
+      result.verdict = Verdict::kBudgetExhausted;
+      result.detail = "state budget exhausted while checking object '" +
+                      object + "'";
+      result.witness.clear();
+      return result;
+    }
+    orders.emplace(object, std::move(pr.witness));
+  }
+
+  std::vector<detail::PartitionWitness> witnesses;
+  witnesses.reserve(parts.size());
+  for (const auto& [object, part] : parts)
+    witnesses.push_back({&part, &orders.at(object)});
+  result.witness = merge_partition_witnesses(witnesses);
+  result.verdict = Verdict::kLinearizable;
+  return result;
+}
+
+CheckResult check_linearizable(const std::vector<Operation>& ops,
+                               const SequentialSpec& initial_spec,
+                               const CheckOptions& options) {
+  return check_linearizable(
+      ops,
+      [&initial_spec](const std::string&) { return initial_spec.clone(); },
+      options);
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force reference oracle (the pre-partitioning checker, verbatim
+// except for the budget and verdict plumbing).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BruteContext {
   const std::vector<Operation>* ops = nullptr;
   std::vector<std::vector<bool>> precedes;  // [i][j]: ops[i] precedes ops[j]
   std::unordered_set<std::string> visited;  // (mask, state) dead ends
   std::vector<int> witness;
   std::uint64_t states = 0;
+  std::uint64_t budget = 0;
 };
 
-bool search(SearchContext& ctx, std::uint64_t done_mask,
-            const SequentialSpec& spec) {
+Outcome brute_search(BruteContext& ctx, std::uint64_t done_mask,
+                     const SequentialSpec& spec) {
   const auto& ops = *ctx.ops;
   const std::size_t n = ops.size();
-  if (std::popcount(done_mask) == static_cast<int>(n)) return true;
+  if (std::popcount(done_mask) == static_cast<int>(n)) return Outcome::kFound;
 
   const std::string key = std::to_string(done_mask) + "|" + spec.state_key();
-  if (ctx.visited.contains(key)) return false;
-  ++ctx.states;
+  if (ctx.visited.contains(key)) return Outcome::kDeadEnd;
+  if (++ctx.states > ctx.budget) return Outcome::kBudget;
 
   for (std::size_t i = 0; i < n; ++i) {
     if (done_mask & (1ULL << i)) continue;
@@ -41,41 +296,81 @@ bool search(SearchContext& ctx, std::uint64_t done_mask,
     auto next = spec.clone();
     if (!next->apply(ops[i])) continue;
     ctx.witness.push_back(ops[i].id);
-    if (search(ctx, done_mask | (1ULL << i), *next)) return true;
+    const Outcome o = brute_search(ctx, done_mask | (1ULL << i), *next);
+    if (o != Outcome::kDeadEnd) return o;
     ctx.witness.pop_back();
   }
 
   ctx.visited.insert(key);
-  return false;
+  return Outcome::kDeadEnd;
 }
 
 }  // namespace
 
-CheckResult check_linearizable(const std::vector<Operation>& ops,
-                               const SequentialSpec& initial_spec) {
-  if (ops.size() > 62)
+CheckResult check_linearizable_brute(const std::vector<Operation>& ops,
+                                     const SequentialSpec& initial_spec,
+                                     std::uint64_t max_states) {
+  CheckResult result;
+  std::vector<Operation> sorted = drop_pending(ops, result.pending_dropped);
+  if (sorted.size() > 62)
     throw std::invalid_argument(
-        "checker supports histories of at most 62 operations");
+        "brute-force checker supports histories of at most 62 operations");
 
   // Sort by invocation time for stable candidate order (pure heuristic).
-  std::vector<Operation> sorted = ops;
   std::sort(sorted.begin(), sorted.end(),
             [](const Operation& a, const Operation& b) {
-              return a.invoke_ts < b.invoke_ts;
+              return a.invoke_ts != b.invoke_ts ? a.invoke_ts < b.invoke_ts
+                                                : a.id < b.id;
             });
 
-  SearchContext ctx;
+  BruteContext ctx;
   ctx.ops = &sorted;
+  ctx.budget = max_states;
   ctx.precedes.assign(sorted.size(), std::vector<bool>(sorted.size(), false));
   for (std::size_t i = 0; i < sorted.size(); ++i)
     for (std::size_t j = 0; j < sorted.size(); ++j)
       if (i != j) ctx.precedes[i][j] = sorted[i].precedes(sorted[j]);
 
-  CheckResult result;
-  result.linearizable = search(ctx, 0, initial_spec);
-  result.witness = std::move(ctx.witness);
+  const Outcome o = brute_search(ctx, 0, initial_spec);
   result.states_explored = ctx.states;
+  switch (o) {
+    case Outcome::kFound:
+      result.verdict = Verdict::kLinearizable;
+      result.witness = std::move(ctx.witness);
+      break;
+    case Outcome::kDeadEnd:
+      result.verdict = Verdict::kViolation;
+      break;
+    case Outcome::kBudget:
+      result.verdict = Verdict::kBudgetExhausted;
+      result.detail = "state budget exhausted";
+      break;
+  }
   return result;
+}
+
+bool replay_witness(const std::vector<Operation>& ops,
+                    const std::vector<int>& witness,
+                    const SpecFactory& make_spec) {
+  std::map<int, const Operation*> by_id;
+  for (const Operation& op : ops)
+    if (!op.pending()) by_id.emplace(op.id, &op);
+  if (witness.size() != by_id.size()) return false;
+
+  MultiObjectSpec spec(make_spec);
+  std::set<int> seen;
+  std::uint64_t max_invoke = 0;
+  for (const int id : witness) {
+    const auto it = by_id.find(id);
+    if (it == by_id.end() || !seen.insert(id).second) return false;
+    const Operation& op = *it->second;
+    max_invoke = std::max(max_invoke, op.invoke_ts);
+    // An operation invoked earlier in the witness must not strictly follow
+    // this one in real time.
+    if (op.response_ts < max_invoke) return false;
+    if (!spec.apply(op)) return false;
+  }
+  return true;
 }
 
 }  // namespace swsig::lincheck

@@ -1,12 +1,35 @@
-// Wing–Gong linearizability checker.
+// Partitioned, pruned Wing–Gong linearizability checker.
 //
 // Searches for a linearization L of a completed history H that (1) respects
 // real-time precedence and (2) conforms to a sequential specification
-// (Definition 4). Exponential in the worst case; with memoization on
-// (linearized-set, spec-state) it comfortably handles the history sizes our
-// stress tests record (<= 64 operations).
+// (Definition 4). Three layers keep the worst-case-exponential search
+// tractable on the long histories the stress suites record:
+//
+//  * Partitioning: SWMR registers are independent objects, so a
+//    multi-register history decomposes into per-object sub-histories
+//    (partition.hpp) that are checked independently and whose witnesses are
+//    merged back into one global order.
+//  * Interval pruning: inside a partition, operations sorted by invocation
+//    form a *frontier* — every operation before it is already linearized —
+//    and only operations invoked before the earliest pending response can
+//    be the next linearization point. When that candidate window has size
+//    one, the operation is forced and consumed without branching or
+//    memoization; the search only ever branches among truly concurrent
+//    intervals, so sequential stretches cost O(log n) per operation.
+//  * Memoization + budget: branchy configurations are memoized on
+//    (frontier, linearized-beyond-frontier, spec-state); total work is
+//    bounded by a configurable states_explored budget instead of the old
+//    64-operation hard cap, and exhausting it is a distinct verdict, never
+//    a wrong answer.
+//
+// check_linearizable_brute() keeps the original unpartitioned, unpruned
+// mask-memoized search (<= 62 operations) as the reference oracle for
+// differential testing.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,15 +51,106 @@ class SequentialSpec {
   virtual std::string state_key() const = 0;
 };
 
-struct CheckResult {
-  bool linearizable = false;
-  // A witness linearization (operation ids in order) when found.
-  std::vector<int> witness;
-  std::uint64_t states_explored = 0;
+// Maps an object id to a fresh spec in its initial state; lets one check
+// cover heterogeneous objects (e.g. a verifiable and a sticky register in
+// the same history).
+using SpecFactory =
+    std::function<std::unique_ptr<SequentialSpec>(const std::string& object)>;
+
+enum class Verdict {
+  kLinearizable,     // a witness linearization was found
+  kViolation,        // exhaustive search found none
+  kBudgetExhausted,  // undecided: states_explored hit the budget
 };
 
-// Checks the history against the spec. `ops` may be in any order.
+struct CheckOptions {
+  // Total states_explored budget across all partitions. The default decides
+  // every history our suites record in well under a second; pathological
+  // (wide, non-linearizable) histories surface as kBudgetExhausted instead
+  // of hanging.
+  std::uint64_t max_states = 1u << 20;
+  // Check each Operation::object sub-history independently (sound for
+  // histories over independent objects — every multi-register history in
+  // this library). Disable to force one whole-history search.
+  bool partition_by_object = true;
+};
+
+struct CheckResult {
+  Verdict verdict = Verdict::kViolation;
+  // A global witness linearization (operation ids in order) when found;
+  // per-partition witnesses merged via linearization points.
+  std::vector<int> witness;
+  std::uint64_t states_explored = 0;
+  // Pending (never-responded) invocations dropped before checking
+  // (Definition 2's completion construction permits this).
+  std::size_t pending_dropped = 0;
+  // On kViolation / kBudgetExhausted: which object's partition failed.
+  std::string detail;
+
+  bool linearizable() const { return verdict == Verdict::kLinearizable; }
+};
+
+// Checks the history against the spec; every partition starts from a
+// clone() of `initial_spec`. `ops` may be in any order.
 CheckResult check_linearizable(const std::vector<Operation>& ops,
-                               const SequentialSpec& initial_spec);
+                               const SequentialSpec& initial_spec,
+                               const CheckOptions& options = {});
+
+// Heterogeneous-object form: each partition's spec comes from the factory.
+CheckResult check_linearizable(const std::vector<Operation>& ops,
+                               const SpecFactory& make_spec,
+                               const CheckOptions& options = {});
+
+// Reference oracle: the original unpartitioned, unpruned Wing–Gong search
+// (bitmask memoization, <= 62 operations — throws std::invalid_argument
+// beyond that). Differential tests compare its verdicts against the
+// partitioned checker's.
+CheckResult check_linearizable_brute(const std::vector<Operation>& ops,
+                                     const SequentialSpec& initial_spec,
+                                     std::uint64_t max_states = 1u << 20);
+
+// Replays `witness` (operation ids over `ops`) and reports whether it is a
+// valid linearization: a permutation of the completed operations that
+// respects real-time precedence and applies cleanly to each object's spec.
+bool replay_witness(const std::vector<Operation>& ops,
+                    const std::vector<int>& witness,
+                    const SpecFactory& make_spec);
+
+// Product spec over independent objects: routes each operation to a child
+// spec selected by Operation::object, creating children on demand from the
+// factory. Used by the brute-force oracle (and tests) to check
+// multi-register histories WITHOUT partitioning.
+class MultiObjectSpec final : public SequentialSpec {
+ public:
+  explicit MultiObjectSpec(SpecFactory make_spec)
+      : make_spec_(std::move(make_spec)) {}
+
+  MultiObjectSpec(const MultiObjectSpec& other) : make_spec_(other.make_spec_) {
+    for (const auto& [object, child] : other.children_)
+      children_.emplace(object, child->clone());
+  }
+
+  std::unique_ptr<SequentialSpec> clone() const override {
+    return std::make_unique<MultiObjectSpec>(*this);
+  }
+
+  bool apply(const Operation& op) override {
+    auto it = children_.find(op.object);
+    if (it == children_.end())
+      it = children_.emplace(op.object, make_spec_(op.object)).first;
+    return it->second->apply(op);
+  }
+
+  std::string state_key() const override {
+    std::string key;
+    for (const auto& [object, child] : children_)
+      key += object + "=" + child->state_key() + ";";
+    return key;
+  }
+
+ private:
+  SpecFactory make_spec_;
+  std::map<std::string, std::unique_ptr<SequentialSpec>> children_;
+};
 
 }  // namespace swsig::lincheck

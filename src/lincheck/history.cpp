@@ -3,11 +3,17 @@
 namespace swsig::lincheck {
 
 int HistoryRecorder::invoke(const std::string& name, std::string arg) {
+  return invoke("", name, std::move(arg));
+}
+
+int HistoryRecorder::invoke(const std::string& object, const std::string& name,
+                            std::string arg) {
   const std::uint64_t ts = clock_.fetch_add(1);
   std::scoped_lock lock(mu_);
   Operation op;
   op.id = static_cast<int>(pending_.size());
   op.pid = runtime::ThisProcess::id();
+  op.object = object;
   op.name = name;
   op.arg = std::move(arg);
   op.invoke_ts = ts;
@@ -18,9 +24,10 @@ int HistoryRecorder::invoke(const std::string& name, std::string arg) {
 void HistoryRecorder::respond(int token, std::string result) {
   const std::uint64_t ts = clock_.fetch_add(1);
   std::scoped_lock lock(mu_);
-  Operation op = pending_.at(static_cast<std::size_t>(token));
+  Operation& slot = pending_.at(static_cast<std::size_t>(token));
+  slot.response_ts = ts;  // marks the token completed for pending_count()
+  Operation op = slot;
   op.result = std::move(result);
-  op.response_ts = ts;
   completed_.push_back(std::move(op));
 }
 
@@ -32,6 +39,14 @@ std::vector<Operation> HistoryRecorder::operations() const {
 std::size_t HistoryRecorder::completed_count() const {
   std::scoped_lock lock(mu_);
   return completed_.size();
+}
+
+std::size_t HistoryRecorder::pending_count() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const Operation& op : pending_)
+    if (op.pending()) ++n;
+  return n;
 }
 
 }  // namespace swsig::lincheck

@@ -4,7 +4,11 @@
 // recorder timestamps both ends with a global logical clock, yielding the
 // real-time precedence order that a linearization must respect
 // (Definition 4). Operations are stored type-erased (name/arg/result
-// strings) so one checker serves every object in the library.
+// strings) so one checker serves every object in the library. Each
+// operation additionally carries the id of the object it acted on: SWMR
+// registers are independent objects, so the checker partitions a
+// multi-register history into per-object sub-histories and checks each one
+// separately (P-compositionality; see docs/ARCHITECTURE.md).
 #pragma once
 
 #include <atomic>
@@ -20,23 +24,29 @@ namespace swsig::lincheck {
 struct Operation {
   int id = 0;
   runtime::ProcessId pid = runtime::kNoProcess;
+  std::string object;  // register/object id ("" = the single implicit object)
   std::string name;    // "write", "read", "sign", "verify", "set", "test"...
   std::string arg;     // stringified argument ("" if none)
   std::string result;  // stringified response
   std::uint64_t invoke_ts = 0;
-  std::uint64_t response_ts = 0;
+  std::uint64_t response_ts = 0;  // 0 = invocation still pending
 
   // Real-time precedence (Definition 1).
   bool precedes(const Operation& other) const {
     return response_ts < other.invoke_ts;
   }
+
+  bool pending() const { return response_ts == 0; }
 };
 
 class HistoryRecorder {
  public:
   // Marks the invocation of an operation by the bound process; returns a
-  // token to pass to respond().
+  // token to pass to respond(). The two-argument form records against the
+  // implicit object "".
   int invoke(const std::string& name, std::string arg = "");
+  int invoke(const std::string& object, const std::string& name,
+             std::string arg);
 
   // Marks the response; the operation becomes part of the history.
   void respond(int token, std::string result);
@@ -51,12 +61,26 @@ class HistoryRecorder {
     return result;
   }
 
+  // Same, against a named object (register id) so multi-register histories
+  // can be partitioned.
+  template <typename F, typename R>
+  auto record(const std::string& object, const std::string& name,
+              std::string arg, F&& fn, R&& render) {
+    const int token = invoke(object, name, std::move(arg));
+    auto result = std::forward<F>(fn)();
+    respond(token, render(result));
+    return result;
+  }
+
   // All completed operations, in arbitrary order. Incomplete operations are
   // dropped (permitted by Definition 2's completion construction: a correct
   // checker may remove pending invocations).
   std::vector<Operation> operations() const;
 
   std::size_t completed_count() const;
+
+  // Invocations that never received a respond() call.
+  std::size_t pending_count() const;
 
  private:
   mutable std::mutex mu_;

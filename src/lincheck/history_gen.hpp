@@ -1,0 +1,68 @@
+// Seeded history generator shared by the checker's differential tests and
+// bench_lincheck, so both exercise the same history distribution.
+//
+// gen_widened_sequential() produces a *widened sequential execution*: a
+// valid sequential run over k plain registers whose i-th operation gets the
+// linearization point (i+2)*spacing, with every interval then stretched by
+// a random jitter on both sides. Widening intervals only removes real-time
+// precedence constraints, so the original sequential order remains a valid
+// witness — the history is linearizable by construction, with concurrency
+// width tuned by jitter/spacing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lincheck/history.hpp"
+#include "util/rng.hpp"
+
+namespace swsig::lincheck {
+
+struct WidenedHistoryOptions {
+  int registers = 1;
+  int nops = 64;
+  std::uint64_t spacing = 100;  // distance between linearization points
+  std::uint64_t jitter = 150;   // max one-sided interval stretch
+  int processes = 8;            // pids drawn from [1, processes]
+  int max_value = 9;            // write values drawn from [1, max_value]
+};
+
+inline std::vector<Operation> gen_widened_sequential(
+    const WidenedHistoryOptions& opt, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::map<std::string, std::string> current;
+  std::vector<Operation> ops;
+  ops.reserve(static_cast<std::size_t>(opt.nops));
+  for (int i = 0; i < opt.nops; ++i) {
+    const std::string obj =
+        "r" + std::to_string(rng.uniform(
+                  0, static_cast<std::uint64_t>(opt.registers - 1)));
+    auto& value = current.try_emplace(obj, "0").first->second;
+    const std::uint64_t point =
+        (static_cast<std::uint64_t>(i) + 2) * opt.spacing;
+    Operation op;
+    op.id = i;
+    op.pid = static_cast<int>(
+        rng.uniform(1, static_cast<std::uint64_t>(opt.processes)));
+    op.object = obj;
+    const std::uint64_t back = rng.uniform(0, opt.jitter);
+    op.invoke_ts = point > back ? point - back : 1;  // clamp: no underflow
+    op.response_ts = point + rng.uniform(0, opt.jitter);
+    if (rng.chance(1, 2)) {
+      op.name = "write";
+      op.arg = std::to_string(
+          rng.uniform(1, static_cast<std::uint64_t>(opt.max_value)));
+      op.result = "done";
+      value = op.arg;
+    } else {
+      op.name = "read";
+      op.result = value;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace swsig::lincheck

@@ -10,6 +10,7 @@
 // full Wing–Gong check (checker.hpp).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,7 +33,8 @@ inline Violations check_relay(const std::vector<Operation>& ops) {
   for (const Operation& a : ops) {
     if (a.name != "verify" || a.result != "true") continue;
     for (const Operation& b : ops) {
-      if (b.name != "verify" || b.arg != a.arg || b.result != "false")
+      if (b.name != "verify" || b.object != a.object || b.arg != a.arg ||
+          b.result != "false")
         continue;
       if (a.precedes(b)) {
         out.push_back({"relay", "verify(" + a.arg + ")=true (op " +
@@ -54,7 +56,8 @@ inline Violations check_validity(const std::vector<Operation>& ops,
     if (s.name != sign_name) continue;
     if (sign_name == "sign" && s.result != "success") continue;
     for (const Operation& v : ops) {
-      if (v.name != "verify" || v.arg != s.arg || v.result != "false")
+      if (v.name != "verify" || v.object != s.object || v.arg != s.arg ||
+          v.result != "false")
         continue;
       if (s.precedes(v)) {
         out.push_back({"validity", sign_name + "(" + s.arg +
@@ -78,7 +81,8 @@ inline Violations check_unforgeability(const std::vector<Operation>& ops,
     if (!v0.empty() && v.arg == v0) continue;  // v0 deemed signed
     bool justified = false;
     for (const Operation& s : ops) {
-      if (s.name != sign_name || s.arg != v.arg) continue;
+      if (s.name != sign_name || s.object != v.object || s.arg != v.arg)
+        continue;
       if (sign_name == "sign" && s.result != "success") continue;
       if (!v.precedes(s)) {  // s precedes or is concurrent with v
         justified = true;
@@ -98,20 +102,20 @@ inline Violations check_unforgeability(const std::vector<Operation>& ops,
 // read(v) preceding read(⊥), violate uniqueness.
 inline Violations check_uniqueness(const std::vector<Operation>& ops) {
   Violations out;
-  std::optional<std::string> value;
+  std::map<std::string, std::string> value_of;  // per register
   for (const Operation& r : ops) {
     if (r.name != "read" || r.result == "⊥") continue;
-    if (!value) {
-      value = r.result;
-    } else if (*value != r.result) {
-      out.push_back({"uniqueness", "reads returned both " + *value +
+    const auto [it, inserted] = value_of.try_emplace(r.object, r.result);
+    if (!inserted && it->second != r.result) {
+      out.push_back({"uniqueness", "reads returned both " + it->second +
                                        " and " + r.result});
     }
   }
   for (const Operation& a : ops) {
     if (a.name != "read" || a.result == "⊥") continue;
     for (const Operation& b : ops) {
-      if (b.name != "read" || b.result != "⊥") continue;
+      if (b.name != "read" || b.object != a.object || b.result != "⊥")
+        continue;
       if (a.precedes(b))
         out.push_back({"uniqueness", "read=" + a.result + " (op " +
                                          std::to_string(a.id) +
@@ -128,7 +132,8 @@ inline Violations check_test_relay(const std::vector<Operation>& ops) {
   for (const Operation& a : ops) {
     if (a.name != "test" || a.result != "1") continue;
     for (const Operation& b : ops) {
-      if (b.name != "test" || b.result != "0") continue;
+      if (b.name != "test" || b.object != a.object || b.result != "0")
+        continue;
       if (a.precedes(b))
         out.push_back({"test-relay", "test=1 (op " + std::to_string(a.id) +
                                          ") precedes test=0 (op " +

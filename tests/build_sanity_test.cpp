@@ -91,7 +91,7 @@ TEST(BuildSanity, LincheckLayer) {
   const std::vector<lincheck::Operation> empty;
   EXPECT_TRUE(
       lincheck::check_linearizable(empty, lincheck::VerifiableRegisterSpec("0"))
-          .linearizable);
+          .linearizable());
 }
 
 }  // namespace

@@ -81,7 +81,7 @@ TEST_P(SeedSweep, VerifiableLinearizableUnderScheduler) {
   const auto ops = rec.operations();
   EXPECT_TRUE(
       check_linearizable(ops, lincheck::VerifiableRegisterSpec("0"))
-          .linearizable)
+          .linearizable())
       << "seed " << seed;
   EXPECT_TRUE(check_relay(ops).empty()) << "seed " << seed;
   EXPECT_TRUE(check_validity(ops).empty()) << "seed " << seed;
@@ -129,7 +129,7 @@ TEST_P(SeedSweep, AuthenticatedLinearizableUnderScheduler) {
   const auto ops = rec.operations();
   EXPECT_TRUE(
       check_linearizable(ops, lincheck::AuthenticatedRegisterSpec("0"))
-          .linearizable)
+          .linearizable())
       << "seed " << seed;
   EXPECT_TRUE(check_relay(ops).empty()) << "seed " << seed;
 }
@@ -172,7 +172,7 @@ TEST_P(SeedSweep, StickyLinearizableUnderScheduler) {
 
   const auto ops = rec.operations();
   EXPECT_TRUE(check_linearizable(ops, lincheck::StickyRegisterSpec())
-                  .linearizable)
+                  .linearizable())
       << "seed " << seed;
   EXPECT_TRUE(check_uniqueness(ops).empty()) << "seed " << seed;
 }
@@ -214,7 +214,7 @@ TEST_P(SeedSweep, TestOrSetLinearizableUnderScheduler) {
 
   const auto ops = rec.operations();
   EXPECT_TRUE(
-      check_linearizable(ops, lincheck::TestOrSetSpec()).linearizable)
+      check_linearizable(ops, lincheck::TestOrSetSpec()).linearizable())
       << "seed " << seed;
   EXPECT_TRUE(lincheck::check_test_relay(ops).empty()) << "seed " << seed;
 }

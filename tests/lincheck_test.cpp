@@ -1,7 +1,14 @@
 // Tests for the linearizability checker itself, then checks of REAL
 // histories recorded from the register implementations.
+//
+// The checker is partitioned (per-register sub-histories, P-compositional)
+// and pruned (forced-prefix frontier + interval-window candidates); the
+// original brute-force Wing–Gong search is kept as a reference oracle and
+// the two are differentially tested on ~1k randomized small histories.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +18,8 @@
 #include "core/verifiable_register.hpp"
 #include "lincheck/checker.hpp"
 #include "lincheck/history.hpp"
+#include "lincheck/history_gen.hpp"
+#include "lincheck/partition.hpp"
 #include "lincheck/properties.hpp"
 #include "lincheck/register_specs.hpp"
 #include "runtime/harness.hpp"
@@ -20,10 +29,12 @@ namespace swsig::lincheck {
 namespace {
 
 Operation op(int id, int pid, std::string name, std::string arg,
-             std::string result, std::uint64_t inv, std::uint64_t resp) {
+             std::string result, std::uint64_t inv, std::uint64_t resp,
+             std::string object = "") {
   Operation o;
   o.id = id;
   o.pid = pid;
+  o.object = std::move(object);
   o.name = std::move(name);
   o.arg = std::move(arg);
   o.result = std::move(result);
@@ -32,10 +43,44 @@ Operation op(int id, int pid, std::string name, std::string arg,
   return o;
 }
 
+SpecFactory plain_factory(const std::string& v0 = "0") {
+  return [v0](const std::string&) {
+    return std::make_unique<PlainRegisterSpec>(v0);
+  };
+}
+
 // ------------------------------------------------ checker unit tests
 
 TEST(Checker, EmptyHistoryIsLinearizable) {
-  EXPECT_TRUE(check_linearizable({}, PlainRegisterSpec("0")).linearizable);
+  const auto res = check_linearizable({}, PlainRegisterSpec("0"));
+  EXPECT_EQ(res.verdict, Verdict::kLinearizable);
+  EXPECT_TRUE(res.witness.empty());
+  EXPECT_EQ(res.pending_dropped, 0u);
+}
+
+TEST(Checker, PendingInvocationIsDroppedNotMisjudged) {
+  // A write that never responded must not be required by (or poison) the
+  // check: Definition 2's completion construction removes it.
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "", 1, 0),  // response_ts = 0: still pending
+      op(1, 2, "read", "", "0", 3, 4),
+  };
+  const auto res = check_linearizable(h, PlainRegisterSpec("0"));
+  EXPECT_EQ(res.verdict, Verdict::kLinearizable);
+  EXPECT_EQ(res.pending_dropped, 1u);
+  ASSERT_EQ(res.witness.size(), 1u);
+  EXPECT_EQ(res.witness[0], 1);
+}
+
+TEST(Checker, HistoryOfOnlyPendingInvocationsIsLinearizable) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "", 1, 0),
+      op(1, 2, "read", "", "", 2, 0),
+  };
+  const auto res = check_linearizable(h, PlainRegisterSpec("0"));
+  EXPECT_EQ(res.verdict, Verdict::kLinearizable);
+  EXPECT_EQ(res.pending_dropped, 2u);
+  EXPECT_TRUE(res.witness.empty());
 }
 
 TEST(Checker, SequentialReadAfterWrite) {
@@ -43,7 +88,7 @@ TEST(Checker, SequentialReadAfterWrite) {
       op(0, 1, "write", "5", "done", 1, 2),
       op(1, 2, "read", "", "5", 3, 4),
   };
-  EXPECT_TRUE(check_linearizable(h, PlainRegisterSpec("0")).linearizable);
+  EXPECT_TRUE(check_linearizable(h, PlainRegisterSpec("0")).linearizable());
 }
 
 TEST(Checker, StaleReadNotLinearizable) {
@@ -51,7 +96,9 @@ TEST(Checker, StaleReadNotLinearizable) {
       op(0, 1, "write", "5", "done", 1, 2),
       op(1, 2, "read", "", "0", 3, 4),  // reads initial AFTER write completed
   };
-  EXPECT_FALSE(check_linearizable(h, PlainRegisterSpec("0")).linearizable);
+  const auto res = check_linearizable(h, PlainRegisterSpec("0"));
+  EXPECT_EQ(res.verdict, Verdict::kViolation);
+  EXPECT_FALSE(res.linearizable());
 }
 
 TEST(Checker, ConcurrentReadMayReturnEitherValue) {
@@ -61,7 +108,7 @@ TEST(Checker, ConcurrentReadMayReturnEitherValue) {
         op(0, 1, "write", "5", "done", 1, 10),
         op(1, 2, "read", "", result, 2, 3),
     };
-    EXPECT_TRUE(check_linearizable(h, PlainRegisterSpec("0")).linearizable)
+    EXPECT_TRUE(check_linearizable(h, PlainRegisterSpec("0")).linearizable())
         << result;
   }
   // But a value never written is not.
@@ -69,7 +116,7 @@ TEST(Checker, ConcurrentReadMayReturnEitherValue) {
       op(0, 1, "write", "5", "done", 1, 10),
       op(1, 2, "read", "", "7", 2, 3),
   };
-  EXPECT_FALSE(check_linearizable(h, PlainRegisterSpec("0")).linearizable);
+  EXPECT_FALSE(check_linearizable(h, PlainRegisterSpec("0")).linearizable());
 }
 
 TEST(Checker, NewOldInversionRejected) {
@@ -81,7 +128,7 @@ TEST(Checker, NewOldInversionRejected) {
       op(2, 2, "read", "", "2", 5, 6),
       op(3, 3, "read", "", "1", 7, 8),
   };
-  EXPECT_FALSE(check_linearizable(h, PlainRegisterSpec("0")).linearizable);
+  EXPECT_FALSE(check_linearizable(h, PlainRegisterSpec("0")).linearizable());
 }
 
 TEST(Checker, WitnessRespectsPrecedence) {
@@ -90,10 +137,11 @@ TEST(Checker, WitnessRespectsPrecedence) {
       op(1, 2, "read", "", "5", 3, 4),
   };
   const auto res = check_linearizable(h, PlainRegisterSpec("0"));
-  ASSERT_TRUE(res.linearizable);
+  ASSERT_TRUE(res.linearizable());
   ASSERT_EQ(res.witness.size(), 2u);
   EXPECT_EQ(res.witness[0], 0);
   EXPECT_EQ(res.witness[1], 1);
+  EXPECT_TRUE(replay_witness(h, res.witness, plain_factory()));
 }
 
 TEST(Checker, VerifiableSpecSignVerify) {
@@ -105,7 +153,7 @@ TEST(Checker, VerifiableSpecSignVerify) {
       op(4, 1, "sign", "9", "fail", 9, 10),
   };
   EXPECT_TRUE(
-      check_linearizable(h, VerifiableRegisterSpec("0")).linearizable);
+      check_linearizable(h, VerifiableRegisterSpec("0")).linearizable());
 }
 
 TEST(Checker, VerifiableSpecRejectsVerifyWithoutSign) {
@@ -114,7 +162,7 @@ TEST(Checker, VerifiableSpecRejectsVerifyWithoutSign) {
       op(1, 2, "verify", "5", "true", 3, 4),  // never signed
   };
   EXPECT_FALSE(
-      check_linearizable(h, VerifiableRegisterSpec("0")).linearizable);
+      check_linearizable(h, VerifiableRegisterSpec("0")).linearizable());
 }
 
 TEST(Checker, VerifiableConcurrentSignVerifyEitherWay) {
@@ -125,7 +173,7 @@ TEST(Checker, VerifiableConcurrentSignVerifyEitherWay) {
         op(2, 2, "verify", "5", result, 4, 5),
     };
     EXPECT_TRUE(
-        check_linearizable(h, VerifiableRegisterSpec("0")).linearizable)
+        check_linearizable(h, VerifiableRegisterSpec("0")).linearizable())
         << result;
   }
 }
@@ -138,7 +186,7 @@ TEST(Checker, AuthenticatedSpecInitialValueVerifies) {
       op(3, 3, "verify", "9", "false", 7, 8),
   };
   EXPECT_TRUE(
-      check_linearizable(h, AuthenticatedRegisterSpec("0")).linearizable);
+      check_linearizable(h, AuthenticatedRegisterSpec("0")).linearizable());
 }
 
 TEST(Checker, StickySpecFirstWriteWins) {
@@ -148,14 +196,14 @@ TEST(Checker, StickySpecFirstWriteWins) {
       op(2, 1, "write", "6", "done", 5, 6),
       op(3, 2, "read", "", "5", 7, 8),
   };
-  EXPECT_TRUE(check_linearizable(h, StickyRegisterSpec()).linearizable);
+  EXPECT_TRUE(check_linearizable(h, StickyRegisterSpec()).linearizable());
   // Second write winning is NOT sticky behavior.
   std::vector<Operation> bad{
       op(0, 1, "write", "5", "done", 1, 2),
       op(1, 1, "write", "6", "done", 3, 4),
       op(2, 2, "read", "", "6", 5, 6),
   };
-  EXPECT_FALSE(check_linearizable(bad, StickyRegisterSpec()).linearizable);
+  EXPECT_FALSE(check_linearizable(bad, StickyRegisterSpec()).linearizable());
 }
 
 TEST(Checker, TestOrSetSpec) {
@@ -164,20 +212,251 @@ TEST(Checker, TestOrSetSpec) {
       op(1, 1, "set", "", "done", 3, 4),
       op(2, 3, "test", "", "1", 5, 6),
   };
-  EXPECT_TRUE(check_linearizable(h, TestOrSetSpec()).linearizable);
+  EXPECT_TRUE(check_linearizable(h, TestOrSetSpec()).linearizable());
   std::vector<Operation> bad{
       op(0, 1, "set", "", "done", 1, 2),
       op(1, 2, "test", "", "0", 3, 4),
   };
-  EXPECT_FALSE(check_linearizable(bad, TestOrSetSpec()).linearizable);
+  EXPECT_FALSE(check_linearizable(bad, TestOrSetSpec()).linearizable());
 }
 
-TEST(Checker, RejectsOversizedHistory) {
+// ----------------------------------------- pruning, budget, long histories
+
+// The old checker threw on > 62 operations; the pruned checker handles a
+// long sequential history in a single forced-prefix sweep (one state per
+// operation, no branching).
+TEST(Checker, LongSequentialHistoryIsCheap) {
+  std::vector<Operation> h;
+  for (int i = 0; i < 300; ++i)
+    h.push_back(op(i, 1, "write", std::to_string(i % 7), "done",
+                   static_cast<std::uint64_t>(2 * i + 1),
+                   static_cast<std::uint64_t>(2 * i + 2)));
+  const auto res = check_linearizable(h, PlainRegisterSpec("0"));
+  ASSERT_EQ(res.verdict, Verdict::kLinearizable);
+  EXPECT_EQ(res.witness.size(), 300u);
+  // Every operation was forced: the search never branched.
+  EXPECT_LE(res.states_explored, 301u);
+}
+
+TEST(Checker, BruteStillRejectsOversizedHistory) {
   std::vector<Operation> h;
   for (int i = 0; i < 63; ++i)
-    h.push_back(op(i, 1, "write", "1", "done", 2 * i + 1, 2 * i + 2));
-  EXPECT_THROW(check_linearizable(h, PlainRegisterSpec("0")),
+    h.push_back(op(i, 1, "write", "1", "done",
+                   static_cast<std::uint64_t>(2 * i + 1),
+                   static_cast<std::uint64_t>(2 * i + 2)));
+  EXPECT_THROW(check_linearizable_brute(h, PlainRegisterSpec("0")),
                std::invalid_argument);
+  // ... and the partitioned checker takes the same history in stride.
+  EXPECT_TRUE(check_linearizable(h, PlainRegisterSpec("0")).linearizable());
+}
+
+TEST(Checker, BudgetExhaustedIsDistinctVerdict) {
+  // Many mutually concurrent writes of distinct values plus a read of a
+  // value never written: a genuine violation, but finding it requires
+  // branching — with a tiny budget the checker must say "undecided", never
+  // "linearizable" or a wrong "violation".
+  std::vector<Operation> h;
+  for (int i = 0; i < 10; ++i)
+    h.push_back(op(i, i + 1, "write", std::to_string(i + 1), "done", 1, 100));
+  h.push_back(op(10, 11, "read", "", "99", 1, 100));
+  CheckOptions tight;
+  tight.max_states = 4;
+  const auto res = check_linearizable(h, PlainRegisterSpec("0"), tight);
+  EXPECT_EQ(res.verdict, Verdict::kBudgetExhausted);
+  EXPECT_FALSE(res.linearizable());
+  EXPECT_FALSE(res.detail.empty());
+  EXPECT_LE(res.states_explored, 5u);
+
+  // With a real budget the same history is decided as a violation.
+  const auto full = check_linearizable(h, PlainRegisterSpec("0"));
+  EXPECT_EQ(full.verdict, Verdict::kViolation);
+}
+
+TEST(Checker, ZeroBudgetExhaustsImmediately) {
+  std::vector<Operation> h{op(0, 1, "write", "1", "done", 1, 2)};
+  CheckOptions zero;
+  zero.max_states = 0;
+  EXPECT_EQ(check_linearizable(h, PlainRegisterSpec("0"), zero).verdict,
+            Verdict::kBudgetExhausted);
+}
+
+// ------------------------------------------------ per-register partitioning
+
+TEST(Checker, PartitionByObjectSplitsHistories) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "1", "done", 1, 2, "r0"),
+      op(1, 2, "write", "2", "done", 3, 4, "r1"),
+      op(2, 3, "read", "", "1", 5, 6, "r0"),
+  };
+  const auto parts = partition_by_object(h);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts.at("r0").size(), 2u);
+  EXPECT_EQ(parts.at("r1").size(), 1u);
+}
+
+TEST(Checker, MultiRegisterHistoryCheckedPerPartition) {
+  // Interleaved ops on two independent registers; each partition is
+  // linearizable, so the whole history is.
+  std::vector<Operation> h{
+      op(0, 1, "write", "1", "done", 1, 4, "r0"),
+      op(1, 2, "write", "2", "done", 2, 5, "r1"),
+      op(2, 3, "read", "", "1", 6, 8, "r0"),
+      op(3, 4, "read", "", "2", 7, 9, "r1"),
+  };
+  const auto res = check_linearizable(h, plain_factory());
+  ASSERT_EQ(res.verdict, Verdict::kLinearizable);
+  // The merged witness is a single valid global linearization.
+  EXPECT_EQ(res.witness.size(), 4u);
+  EXPECT_TRUE(replay_witness(h, res.witness, plain_factory()));
+}
+
+TEST(Checker, ViolationNamesTheFailingRegister) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "1", "done", 1, 2, "r0"),
+      op(1, 3, "read", "", "1", 3, 4, "r0"),
+      op(2, 2, "write", "2", "done", 5, 6, "r1"),
+      op(3, 4, "read", "", "7", 7, 8, "r1"),  // never written to r1
+  };
+  const auto res = check_linearizable(h, plain_factory());
+  EXPECT_EQ(res.verdict, Verdict::kViolation);
+  EXPECT_NE(res.detail.find("r1"), std::string::npos) << res.detail;
+}
+
+TEST(Checker, MergedWitnessRespectsCrossRegisterPrecedence) {
+  // r0's write strictly precedes r1's read in real time; the merged global
+  // witness must keep that order even though they live in different
+  // partitions.
+  std::vector<Operation> h{
+      op(0, 1, "write", "1", "done", 1, 2, "r0"),
+      op(1, 2, "write", "2", "done", 3, 4, "r1"),
+      op(2, 3, "read", "", "2", 5, 6, "r1"),
+      op(3, 4, "read", "", "1", 7, 8, "r0"),
+  };
+  const auto res = check_linearizable(h, plain_factory());
+  ASSERT_TRUE(res.linearizable());
+  ASSERT_EQ(res.witness.size(), 4u);
+  auto pos = [&](int id) {
+    for (std::size_t i = 0; i < res.witness.size(); ++i)
+      if (res.witness[i] == id) return i;
+    return res.witness.size();
+  };
+  EXPECT_LT(pos(0), pos(2));  // r0.write before r1.read
+  EXPECT_LT(pos(1), pos(3));  // r1.write before r0.read
+  EXPECT_TRUE(replay_witness(h, res.witness, plain_factory()));
+}
+
+TEST(Checker, HeterogeneousSpecsViaFactory) {
+  // One verifiable register and one sticky register in a single history.
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "done", 1, 2, "vreg"),
+      op(1, 1, "sign", "5", "success", 3, 4, "vreg"),
+      op(2, 2, "verify", "5", "true", 5, 6, "vreg"),
+      op(3, 1, "write", "7", "done", 1, 3, "sticky"),
+      op(4, 3, "read", "", "7", 4, 6, "sticky"),
+  };
+  const SpecFactory factory = [](const std::string& object)
+      -> std::unique_ptr<SequentialSpec> {
+    if (object == "sticky") return std::make_unique<StickyRegisterSpec>();
+    return std::make_unique<VerifiableRegisterSpec>("0");
+  };
+  const auto res = check_linearizable(h, factory);
+  EXPECT_EQ(res.verdict, Verdict::kLinearizable);
+  EXPECT_TRUE(replay_witness(h, res.witness, factory));
+}
+
+TEST(Checker, UnpartitionedModeMatchesViaMultiObjectSpec) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "1", "done", 1, 4, "r0"),
+      op(1, 2, "write", "2", "done", 2, 5, "r1"),
+      op(2, 3, "read", "", "1", 6, 8, "r0"),
+  };
+  CheckOptions whole;
+  whole.partition_by_object = false;
+  const auto res =
+      check_linearizable(h, MultiObjectSpec(plain_factory()), whole);
+  EXPECT_EQ(res.verdict, Verdict::kLinearizable);
+}
+
+// ----------------------------------------------------- witness replay
+
+TEST(Checker, ReplayRejectsBadWitnesses) {
+  std::vector<Operation> h{
+      op(0, 1, "write", "5", "done", 1, 2),
+      op(1, 2, "read", "", "5", 3, 4),
+  };
+  // Wrong order: the read precedes the write in real time -> rejected.
+  EXPECT_FALSE(replay_witness(h, {1, 0}, plain_factory()));
+  // Not a permutation.
+  EXPECT_FALSE(replay_witness(h, {0, 0}, plain_factory()));
+  EXPECT_FALSE(replay_witness(h, {0}, plain_factory()));
+  EXPECT_FALSE(replay_witness(h, {0, 1, 2}, plain_factory()));
+}
+
+// ------------------------------------- differential: pruned vs brute force
+
+// Randomized small histories (<= 10 ops, two registers, three processes)
+// checked by the partitioned+pruned checker AND by the original
+// brute-force Wing–Gong search (over the product spec, unpartitioned).
+// Verdicts must agree on every seed.
+TEST(CheckerDifferential, AgreesWithBruteForceOnRandomHistories) {
+  const std::vector<std::string> objects = {"a", "b"};
+  int linearizable_count = 0;
+  int violation_count = 0;
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    util::Rng rng(seed);
+    std::vector<Operation> h;
+    const int nops = static_cast<int>(rng.uniform(1, 10));
+    const bool widened_sequential = seed % 2 == 0;
+    if (widened_sequential) {
+      // Widened sequential execution (the generator bench_lincheck also
+      // uses): guaranteed linearizable.
+      WidenedHistoryOptions opt;
+      opt.registers = 2;
+      opt.nops = nops;
+      opt.spacing = 10;
+      opt.jitter = 15;
+      opt.processes = 3;
+      opt.max_value = 3;
+      h = gen_widened_sequential(opt, seed);
+    } else {
+      // Fully random results: mostly violations, some linearizable.
+      for (int i = 0; i < nops; ++i) {
+        const std::string obj = objects[rng.uniform(0, 1)];
+        const std::uint64_t inv = rng.uniform(1, 20);
+        const std::uint64_t resp = inv + rng.uniform(0, 6);
+        if (rng.chance(1, 2)) {
+          h.push_back(op(i, static_cast<int>(rng.uniform(1, 3)), "write",
+                         std::to_string(rng.uniform(0, 2)), "done", inv, resp,
+                         obj));
+        } else {
+          h.push_back(op(i, static_cast<int>(rng.uniform(1, 3)), "read", "",
+                         std::to_string(rng.uniform(0, 2)), inv, resp, obj));
+        }
+      }
+    }
+
+    const auto pruned = check_linearizable(h, plain_factory());
+    const auto brute =
+        check_linearizable_brute(h, MultiObjectSpec(plain_factory()));
+    ASSERT_NE(pruned.verdict, Verdict::kBudgetExhausted) << "seed " << seed;
+    ASSERT_NE(brute.verdict, Verdict::kBudgetExhausted) << "seed " << seed;
+    EXPECT_EQ(pruned.verdict, brute.verdict)
+        << "seed " << seed << " (widened=" << widened_sequential << ")";
+    if (pruned.linearizable()) {
+      ++linearizable_count;
+      EXPECT_TRUE(replay_witness(h, pruned.witness, plain_factory()))
+          << "seed " << seed;
+      EXPECT_TRUE(replay_witness(h, brute.witness, plain_factory()))
+          << "seed " << seed;
+    } else {
+      ++violation_count;
+    }
+    if (widened_sequential)
+      EXPECT_TRUE(pruned.linearizable()) << "seed " << seed;
+  }
+  // The generator must exercise both verdicts, or the test proves nothing.
+  EXPECT_GT(linearizable_count, 100);
+  EXPECT_GT(violation_count, 100);
 }
 
 // ------------------------------------------------ property checkers
@@ -194,6 +473,12 @@ TEST(Properties, RelayViolationDetected) {
       op(1, 3, "verify", "5", "false", 2, 6),
   };
   EXPECT_TRUE(check_relay(ok).empty());
+  // Same pattern on DIFFERENT registers is not a relay violation.
+  std::vector<Operation> two_regs{
+      op(0, 2, "verify", "5", "true", 1, 2, "r0"),
+      op(1, 3, "verify", "5", "false", 3, 4, "r1"),
+  };
+  EXPECT_TRUE(check_relay(two_regs).empty());
 }
 
 TEST(Properties, ValidityViolationDetected) {
@@ -229,6 +514,12 @@ TEST(Properties, UniquenessViolationDetected) {
       op(1, 3, "read", "", "5", 3, 4),
   };
   EXPECT_TRUE(check_uniqueness(ok).empty());
+  // Two sticky registers may hold different values.
+  std::vector<Operation> two_regs{
+      op(0, 2, "read", "", "5", 1, 2, "s0"),
+      op(1, 3, "read", "", "6", 3, 4, "s1"),
+  };
+  EXPECT_TRUE(check_uniqueness(two_regs).empty());
 }
 
 // ----------------------------- real histories from the implementations
@@ -256,11 +547,11 @@ TEST(RealHistories, VerifiableRegisterLinearizable) {
       util::Rng rng(seed);
       for (int i = 0; i < 4; ++i) {
         const int v = static_cast<int>(rng.uniform(1, 3));
-        rec.record("write", std::to_string(v),
+        rec.record("vreg", "write", std::to_string(v),
                    [&] { sys.alg().write(v); return true; },
                    [](bool) { return std::string("done"); });
         if (rng.chance(1, 2)) {
-          rec.record("sign", std::to_string(v),
+          rec.record("vreg", "sign", std::to_string(v),
                      [&] { return sys.alg().sign(v); },
                      [](core::SignResult r) {
                        return std::string(r == core::SignResult::kSuccess
@@ -275,11 +566,11 @@ TEST(RealHistories, VerifiableRegisterLinearizable) {
         util::Rng rng(seed * 100 + static_cast<std::uint64_t>(k));
         for (int i = 0; i < 4; ++i) {
           if (rng.chance(1, 2)) {
-            rec.record("read", "", [&] { return sys.alg().read(); },
+            rec.record("vreg", "read", "", [&] { return sys.alg().read(); },
                        [](int v) { return std::to_string(v); });
           } else {
             const int v = static_cast<int>(rng.uniform(1, 3));
-            rec.record("verify", std::to_string(v),
+            rec.record("vreg", "verify", std::to_string(v),
                        [&] { return sys.alg().verify(v); }, render_bool);
           }
         }
@@ -289,7 +580,7 @@ TEST(RealHistories, VerifiableRegisterLinearizable) {
     h.join();
     const auto ops = rec.operations();
     const auto result = check_linearizable(ops, VerifiableRegisterSpec("0"));
-    EXPECT_TRUE(result.linearizable) << "seed " << seed;
+    EXPECT_TRUE(result.linearizable()) << "seed " << seed;
   }
 }
 
@@ -308,7 +599,7 @@ TEST(RealHistories, AuthenticatedRegisterLinearizable) {
       util::Rng rng(seed);
       for (int i = 0; i < 5; ++i) {
         const int v = static_cast<int>(rng.uniform(1, 3));
-        rec.record("write", std::to_string(v),
+        rec.record("areg", "write", std::to_string(v),
                    [&] { sys.alg().write(v); return true; },
                    [](bool) { return std::string("done"); });
       }
@@ -318,11 +609,11 @@ TEST(RealHistories, AuthenticatedRegisterLinearizable) {
         util::Rng rng(seed * 100 + static_cast<std::uint64_t>(k));
         for (int i = 0; i < 4; ++i) {
           if (rng.chance(1, 2)) {
-            rec.record("read", "", [&] { return sys.alg().read(); },
+            rec.record("areg", "read", "", [&] { return sys.alg().read(); },
                        [](int v) { return std::to_string(v); });
           } else {
             const int v = static_cast<int>(rng.uniform(0, 3));
-            rec.record("verify", std::to_string(v),
+            rec.record("areg", "verify", std::to_string(v),
                        [&] { return sys.alg().verify(v); }, render_bool);
           }
         }
@@ -332,7 +623,7 @@ TEST(RealHistories, AuthenticatedRegisterLinearizable) {
     h.join();
     const auto result =
         check_linearizable(rec.operations(), AuthenticatedRegisterSpec("0"));
-    EXPECT_TRUE(result.linearizable) << "seed " << seed;
+    EXPECT_TRUE(result.linearizable()) << "seed " << seed;
   }
 }
 
@@ -347,13 +638,14 @@ TEST(RealHistories, StickyRegisterLinearizable) {
     HistoryRecorder rec;
     runtime::Harness h;
     h.spawn(1, "op", [&](std::stop_token) {
-      rec.record("write", "7", [&] { sys.alg().write(7); return true; },
+      rec.record("sreg", "write", "7",
+                 [&] { sys.alg().write(7); return true; },
                  [](bool) { return std::string("done"); });
     });
     for (int k = 2; k <= 4; ++k) {
       h.spawn(k, "op", [&](std::stop_token) {
         for (int i = 0; i < 4; ++i) {
-          rec.record("read", "", [&] { return sys.alg().read(); },
+          rec.record("sreg", "read", "", [&] { return sys.alg().read(); },
                      [](const std::optional<int>& v) {
                        return v ? std::to_string(*v) : std::string("⊥");
                      });
@@ -363,7 +655,7 @@ TEST(RealHistories, StickyRegisterLinearizable) {
     h.start();
     h.join();
     const auto ops = rec.operations();
-    EXPECT_TRUE(check_linearizable(ops, StickyRegisterSpec()).linearizable)
+    EXPECT_TRUE(check_linearizable(ops, StickyRegisterSpec()).linearizable())
         << "seed " << seed;
     EXPECT_TRUE(check_uniqueness(ops).empty()) << "seed " << seed;
   }

@@ -200,7 +200,8 @@ TEST(Snapshot, RecordedHistoriesLinearizable) {
         util::Rng rng(seed * 10 + static_cast<std::uint64_t>(pid));
         for (int i = 0; i < 3; ++i) {
           const auto v = rng.uniform(1, 9);
-          rec.record("update", std::to_string(pid) + ":" + std::to_string(v),
+          rec.record("snap", "update",
+                     std::to_string(pid) + ":" + std::to_string(v),
                      [&] { sys.snap().update(v); return true; },
                      [](bool) { return std::string("done"); });
         }
@@ -209,7 +210,8 @@ TEST(Snapshot, RecordedHistoriesLinearizable) {
     for (int pid : {3, 4}) {
       h.spawn(pid, "op", [&, render_scan](std::stop_token) {
         for (int i = 0; i < 3; ++i) {
-          rec.record("scan", "", [&] { return sys.snap().scan(); },
+          rec.record("snap", "scan", "",
+                     [&] { return sys.snap().scan(); },
                      render_scan);
         }
       });
@@ -218,7 +220,7 @@ TEST(Snapshot, RecordedHistoriesLinearizable) {
     h.join();
     const auto result = lincheck::check_linearizable(
         rec.operations(), lincheck::SnapshotSpec(4, "0"));
-    EXPECT_TRUE(result.linearizable) << "seed " << seed;
+    EXPECT_TRUE(result.linearizable()) << "seed " << seed;
   }
 }
 

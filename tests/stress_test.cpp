@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "byzantine/behaviors.hpp"
@@ -13,6 +15,9 @@
 #include "core/sticky_register.hpp"
 #include "core/system.hpp"
 #include "core/verifiable_register.hpp"
+#include "lincheck/checker.hpp"
+#include "lincheck/history.hpp"
+#include "lincheck/register_specs.hpp"
 #include "runtime/harness.hpp"
 #include "util/rng.hpp"
 
@@ -143,6 +148,101 @@ TEST_P(Stress, StickyUniquenessUnderEquivocation) {
   done = true;
   EXPECT_LE(observed.size(), 1u)
       << "sticky register returned two different values";
+}
+
+// Full-history stress: four register instances of three different types
+// run concurrently, EVERY operation is recorded, and the complete
+// multi-register history (hundreds of operations) is checked in one
+// partitioned Wing–Gong pass with a heterogeneous per-object spec factory
+// — the check the 64-operation cap used to make impossible.
+TEST(StressHistories, HeterogeneousRegistersFullHistoryLinearizable) {
+  using VReg = VerifiableRegister<int>;
+  using AReg = AuthenticatedRegister<int>;
+  using SReg = StickyRegister<int>;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    FreeSystem<VReg> vsys0(VReg::Config{4, 1, 0, false});
+    FreeSystem<VReg> vsys1(VReg::Config{4, 1, 0, false});
+    FreeSystem<AReg> asys(AReg::Config{4, 1, 0, false});
+    FreeSystem<SReg> ssys(SReg::Config{4, 1, false});
+    lincheck::HistoryRecorder rec;
+
+    const auto render_done = [](bool) { return std::string("done"); };
+    const auto render_bool = [](bool b) {
+      return std::string(b ? "true" : "false");
+    };
+    const auto render_int = [](int v) { return std::to_string(v); };
+
+    runtime::Harness h;
+    // p1: the (correct) writer of all four objects, interleaved.
+    h.spawn(1, "op", [&, seed](std::stop_token) {
+      util::Rng rng(seed);
+      rec.record("sreg", "write", "7",
+                 [&] { ssys.alg().write(7); return true; }, render_done);
+      for (int i = 0; i < 24; ++i) {
+        const int v = static_cast<int>(rng.uniform(1, 5));
+        rec.record("vreg0", "write", std::to_string(v),
+                   [&] { vsys0.alg().write(v); return true; }, render_done);
+        if (rng.chance(1, 2)) {
+          rec.record("vreg0", "sign", std::to_string(v),
+                     [&] {
+                       return vsys0.alg().sign(v) ==
+                              core::SignResult::kSuccess;
+                     },
+                     [](bool ok) {
+                       return std::string(ok ? "success" : "fail");
+                     });
+        }
+        const int w = static_cast<int>(rng.uniform(1, 5));
+        rec.record("vreg1", "write", std::to_string(w),
+                   [&] { vsys1.alg().write(w); return true; }, render_done);
+        rec.record("areg", "write", std::to_string(v),
+                   [&] { asys.alg().write(v); return true; }, render_done);
+      }
+    });
+    // p2..p4: readers sweeping all four objects.
+    for (int k = 2; k <= 4; ++k) {
+      h.spawn(k, "op", [&, k, seed](std::stop_token) {
+        util::Rng rng(seed * 31 + static_cast<std::uint64_t>(k));
+        for (int i = 0; i < 16; ++i) {
+          rec.record("vreg0", "read", "",
+                     [&] { return vsys0.alg().read(); }, render_int);
+          const int v = static_cast<int>(rng.uniform(1, 5));
+          rec.record("vreg0", "verify", std::to_string(v),
+                     [&] { return vsys0.alg().verify(v); }, render_bool);
+          rec.record("vreg1", "read", "",
+                     [&] { return vsys1.alg().read(); }, render_int);
+          rec.record("areg", "read", "",
+                     [&] { return asys.alg().read(); }, render_int);
+          rec.record("sreg", "read", "",
+                     [&] { return ssys.alg().read(); },
+                     [](const std::optional<int>& v) {
+                       return v ? std::to_string(*v) : std::string("⊥");
+                     });
+        }
+      });
+    }
+    h.start();
+    h.join();
+
+    const auto ops = rec.operations();
+    ASSERT_GE(ops.size(), 256u) << "seed " << seed;
+
+    const lincheck::SpecFactory factory = [](const std::string& object)
+        -> std::unique_ptr<lincheck::SequentialSpec> {
+      if (object == "sreg")
+        return std::make_unique<lincheck::StickyRegisterSpec>();
+      if (object == "areg")
+        return std::make_unique<lincheck::AuthenticatedRegisterSpec>("0");
+      return std::make_unique<lincheck::VerifiableRegisterSpec>("0");
+    };
+    const auto result = lincheck::check_linearizable(ops, factory);
+    EXPECT_EQ(result.verdict, lincheck::Verdict::kLinearizable)
+        << "seed " << seed << ": " << result.detail
+        << " (states=" << result.states_explored << ")";
+    EXPECT_EQ(result.witness.size(), ops.size()) << "seed " << seed;
+    EXPECT_TRUE(lincheck::replay_witness(ops, result.witness, factory))
+        << "seed " << seed;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
