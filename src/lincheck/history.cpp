@@ -1,5 +1,8 @@
 #include "lincheck/history.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace swsig::lincheck {
 
 int HistoryRecorder::invoke(const std::string& name, std::string arg) {
@@ -8,25 +11,30 @@ int HistoryRecorder::invoke(const std::string& name, std::string arg) {
 
 int HistoryRecorder::invoke(const std::string& object, const std::string& name,
                             std::string arg) {
-  const std::uint64_t ts = clock_.fetch_add(1);
   std::scoped_lock lock(mu_);
+  const int token = next_token_++;
   Operation op;
-  op.id = static_cast<int>(pending_.size());
+  op.id = token;
   op.pid = runtime::ThisProcess::id();
   op.object = object;
   op.name = name;
   op.arg = std::move(arg);
-  op.invoke_ts = ts;
-  pending_.push_back(std::move(op));
-  return static_cast<int>(pending_.size()) - 1;
+  op.invoke_ts = clock_++;
+  pending_.emplace(token, std::move(op));
+  return token;
 }
 
 void HistoryRecorder::respond(int token, std::string result) {
-  const std::uint64_t ts = clock_.fetch_add(1);
   std::scoped_lock lock(mu_);
-  Operation& slot = pending_.at(static_cast<std::size_t>(token));
-  slot.response_ts = ts;  // marks the token completed for pending_count()
-  Operation op = slot;
+  // The response timestamp is taken under mu_, so completed_ is sorted by
+  // response_ts. Moving the stamp from "just before the lock" to "inside
+  // it" only delays a response, which can only *shrink* the precedence
+  // relation — sound for checking, and exactly what windowed sampling
+  // needs: a contiguous slice of completed_ is closed under "completed in
+  // between" (lincheck/window.hpp).
+  Operation op = std::move(pending_.at(token));  // throws on a bad token
+  pending_.erase(token);
+  op.response_ts = clock_++;
   op.result = std::move(result);
   completed_.push_back(std::move(op));
 }
@@ -36,17 +44,41 @@ std::vector<Operation> HistoryRecorder::operations() const {
   return completed_;
 }
 
+std::vector<Operation> HistoryRecorder::drain_completed() {
+  std::scoped_lock lock(mu_);
+  drained_ += completed_.size();
+  return std::exchange(completed_, {});
+}
+
+HistoryRecorder::Drain HistoryRecorder::drain() {
+  std::scoped_lock lock(mu_);
+  Drain d;
+  // Future completions are either currently-pending invocations (invoke_ts
+  // known) or not yet invoked (invoke_ts will be >= clock_).
+  d.watermark = clock_;
+  for (const auto& [token, op] : pending_)
+    d.watermark = std::min(d.watermark, op.invoke_ts);
+  drained_ += completed_.size();
+  d.ops = std::exchange(completed_, {});
+  return d;
+}
+
 std::size_t HistoryRecorder::completed_count() const {
   std::scoped_lock lock(mu_);
-  return completed_.size();
+  return drained_ + completed_.size();
 }
 
 std::size_t HistoryRecorder::pending_count() const {
   std::scoped_lock lock(mu_);
-  std::size_t n = 0;
-  for (const Operation& op : pending_)
-    if (op.pending()) ++n;
-  return n;
+  return pending_.size();
+}
+
+std::vector<Operation> HistoryRecorder::pending_snapshot() const {
+  std::scoped_lock lock(mu_);
+  std::vector<Operation> out;
+  out.reserve(pending_.size());
+  for (const auto& [token, op] : pending_) out.push_back(op);
+  return out;
 }
 
 }  // namespace swsig::lincheck

@@ -11,8 +11,8 @@
 // separately (P-compositionality; see docs/ARCHITECTURE.md).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -72,21 +72,49 @@ class HistoryRecorder {
     return result;
   }
 
-  // All completed operations, in arbitrary order. Incomplete operations are
-  // dropped (permitted by Definition 2's completion construction: a correct
-  // checker may remove pending invocations).
+  // All completed operations, sorted by response_ts. Incomplete operations
+  // are dropped (permitted by Definition 2's completion construction: a
+  // correct checker may remove pending invocations).
   std::vector<Operation> operations() const;
+
+  // Moves out the completed operations recorded so far (sorted by
+  // response_ts) and forgets them, bounding recorder memory on long runs:
+  // the soak harness drains every checker interval, so completed_ holds at
+  // most one window's worth of ops and pending_ only the in-flight ones.
+  // Counters keep counting across drains.
+  std::vector<Operation> drain_completed();
+
+  // drain_completed() plus a *watermark*: a lower bound on the invoke_ts of
+  // every operation that will appear in any FUTURE drain (the minimum over
+  // currently-pending invocations, or the clock itself when nothing is in
+  // flight). The windowed checker needs it to prove a cut point quiescent:
+  // a completed prefix is closed — no later-completing operation can
+  // overlap it — exactly when the watermark (and every drained-but-newer
+  // op's invoke_ts) is beyond the prefix's last response_ts. Watermarks are
+  // monotone across drains.
+  struct Drain {
+    std::vector<Operation> ops;  // completion-ordered, as drain_completed()
+    std::uint64_t watermark = 0;
+  };
+  Drain drain();
 
   std::size_t completed_count() const;
 
   // Invocations that never received a respond() call.
   std::size_t pending_count() const;
 
+  // Copies of the currently-pending invocations (response_ts == 0) — the
+  // soak harness dumps these when a worker wedges, naming the exact stuck
+  // operation.
+  std::vector<Operation> pending_snapshot() const;
+
  private:
   mutable std::mutex mu_;
-  std::atomic<std::uint64_t> clock_{1};
-  std::vector<Operation> pending_;    // index by token
+  std::uint64_t clock_ = 1;           // guarded by mu_ (see respond())
+  int next_token_ = 0;
+  std::map<int, Operation> pending_;  // by token; erased on respond
   std::vector<Operation> completed_;
+  std::uint64_t drained_ = 0;         // completed ops already drained
 };
 
 }  // namespace swsig::lincheck

@@ -1,0 +1,222 @@
+// Online (windowed) linearizability checking for long-running histories.
+//
+// The soak harness (src/soak/) records millions of operations; one
+// end-of-run check would exhaust both memory and the checker budget. A
+// WindowedChecker instead checks windows of the LIVE completion-ordered
+// stream through the partitioned checker (checker.hpp) as the run
+// progresses, in constant memory.
+//
+// Where may a window start and end? NOT at arbitrary positions: an
+// operation whose interval crosses a cut hides effects the window cannot
+// explain. Concretely, a write that responded just before a cut can be
+// concurrent with reads after it — the first post-cut read may return the
+// pre-write value and a later one the written value, with no in-window
+// write between them: a real-looking "violation" that the full history
+// explains. Symmetrically a read can return the value of a write that
+// completes only after the window's end. Arbitrary op-count windows
+// therefore produce FALSE POSITIVES on perfectly linearizable histories
+// (demonstrated by window_check_test's CrossingOpsSlidingWindow).
+//
+// The sound cut points are the *quiescent* ones: position i is a valid cut
+// iff every operation at index >= i (and every operation still pending)
+// was invoked AFTER every operation before i responded — for an instant,
+// nothing was in flight. Then:
+//
+//  * Every excluded earlier op precedes every in-window op in real time,
+//    so their net effect is one fixed (but unknown) start value per
+//    object. WindowRegisterSpec below starts UNANCHORED: the first read of
+//    each object adopts its result, any write anchors exactly. The single
+//    first-read per object per window is the only checking power given up.
+//  * No pending op at the cut means no later-completing op can linearize
+//    inside the window, so the window's ops are complete and their
+//    real-time edges are exactly the full history's restricted to it.
+//
+// Hence a violation inside a window is a real violation of the full
+// history, and a linearizable history produces no window violations.
+//
+// Cut detection is timestamp-driven: feed() takes the drained ops plus
+// HistoryRecorder's watermark (a lower bound on every future completion's
+// invoke_ts); poll() scans the buffer for positions whose suffix-minimum
+// invoke_ts (and the watermark) exceed the previous response_ts. Natural
+// quiescent instants can be rare under saturating load, so the soak runner
+// forces them at a bounded cadence by briefly parking its workers
+// (runner.hpp checkpoints); any feeder that pauses between bursts gets
+// cuts for free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lincheck/checker.hpp"
+#include "lincheck/history.hpp"
+
+namespace swsig::lincheck {
+
+// Plain SWMR register spec with an unknown initial value: unanchored until
+// the first write or read fixes the state (see file comment).
+class WindowRegisterSpec final : public SequentialSpec {
+ public:
+  std::unique_ptr<SequentialSpec> clone() const override {
+    return std::make_unique<WindowRegisterSpec>(*this);
+  }
+
+  bool apply(const Operation& op) override {
+    if (op.name == "write") {
+      last_ = op.arg;
+      anchored_ = true;
+      return op.result == "done";
+    }
+    if (op.name == "read") {
+      if (!anchored_) {
+        last_ = op.result;  // adopt: any pre-window value is legitimate
+        anchored_ = true;
+        return true;
+      }
+      return op.result == last_;
+    }
+    return false;
+  }
+
+  std::string state_key() const override {
+    return anchored_ ? "=" + last_ : "?";
+  }
+
+ private:
+  bool anchored_ = false;
+  std::string last_;
+};
+
+inline SpecFactory window_register_factory() {
+  return [](const std::string&) -> std::unique_ptr<SequentialSpec> {
+    return std::make_unique<WindowRegisterSpec>();
+  };
+}
+
+// Verdict for one checked window. On a violation the window's operations
+// are retained as evidence (replayable, printable); on success `ops` is
+// empty and `result.witness` holds the linearization found.
+struct WindowVerdict {
+  std::uint64_t first_op = 0;  // absolute index in the completion order
+  std::uint64_t last_op = 0;   // inclusive
+  CheckResult result;
+  std::vector<Operation> ops;  // retained on non-linearizable verdicts only
+
+  bool ok() const { return result.linearizable(); }
+};
+
+class WindowedChecker {
+ public:
+  struct Options {
+    // Quiescent cuts closer together than this are merged (the union of
+    // adjacent closed windows is closed), so a near-sequential stream is
+    // checked in batches instead of op-by-op. There is no hard upper
+    // bound: a closed window cannot be split soundly, so between forced
+    // checkpoints a window grows as large as the feeder lets it (the
+    // checker budget turns pathological ones into kBudgetExhausted, not
+    // hangs).
+    std::size_t min_window_ops = 64;
+    CheckOptions check;  // per-window checker budget
+    SpecFactory make_spec = window_register_factory();
+  };
+
+  explicit WindowedChecker(Options options) : options_(std::move(options)) {
+    if (options_.min_window_ops < 2) options_.min_window_ops = 2;
+  }
+
+  // Appends newly completed operations (a contiguous extension of the
+  // completion order — exactly what HistoryRecorder::drain() returns) and
+  // raises the watermark: the promise that every operation fed LATER has
+  // invoke_ts >= `watermark`.
+  void feed(std::vector<Operation> ops, std::uint64_t watermark) {
+    for (Operation& op : ops) buffer_.push_back(std::move(op));
+    if (watermark > watermark_) watermark_ = watermark;
+  }
+  void feed(HistoryRecorder::Drain d) {
+    feed(std::move(d.ops), d.watermark);
+  }
+
+  // Checks every closed window: buffered spans between quiescent cuts (at
+  // least min_window_ops long). Ops after the last cut stay buffered.
+  std::vector<WindowVerdict> poll() {
+    std::vector<WindowVerdict> out;
+    if (buffer_.empty()) return out;
+    // suffix_min[i] = min invoke_ts over buffer_[i..): the cheapest way to
+    // ask "was anything at or after i already in flight before i?".
+    const std::size_t n = buffer_.size();
+    std::vector<std::uint64_t> suffix_min(n + 1);
+    suffix_min[n] = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = n; i-- > 0;)
+      suffix_min[i] = std::min(suffix_min[i + 1], buffer_[i].invoke_ts);
+    std::size_t start = 0;  // window start, relative to buffer_
+    for (std::size_t j = start + options_.min_window_ops; j <= n; ++j) {
+      // Cut before j iff everything at/after j (and everything still to
+      // come, per the watermark) was invoked after buffer_[j-1] responded.
+      if (buffer_[j - 1].response_ts < std::min(suffix_min[j], watermark_)) {
+        out.push_back(check_window(start, j - start));
+        start = j;
+        j = start + options_.min_window_ops - 1;  // ++j makes start + min
+      }
+    }
+    erase_prefix(start);
+    return out;
+  }
+
+  // End of run: nothing more will be fed, so the remaining buffer is
+  // closed regardless of the watermark. Checks it as the final window.
+  std::vector<WindowVerdict> finish() {
+    watermark_ = std::numeric_limits<std::uint64_t>::max();
+    std::vector<WindowVerdict> out = poll();
+    if (buffer_.size() > 1)
+      out.push_back(check_window(0, buffer_.size()));
+    erase_prefix(buffer_.size());
+    return out;
+  }
+
+  std::uint64_t windows_checked() const { return windows_checked_; }
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t undecided() const { return undecided_; }
+  std::uint64_t ops_buffered() const { return buffer_.size(); }
+
+ private:
+  WindowVerdict check_window(std::size_t offset, std::size_t count) {
+    std::vector<Operation> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      ops.push_back(buffer_[offset + i]);
+    WindowVerdict v;
+    v.first_op = consumed_ + offset;
+    v.last_op = consumed_ + offset + count - 1;
+    v.result = check_linearizable(ops, options_.make_spec, options_.check);
+    ++windows_checked_;
+    if (v.result.verdict == Verdict::kViolation) {
+      ++violations_;
+      v.ops = std::move(ops);
+    } else if (v.result.verdict == Verdict::kBudgetExhausted) {
+      ++undecided_;
+      v.ops = std::move(ops);
+    }
+    return v;
+  }
+
+  void erase_prefix(std::size_t count) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(count));
+    consumed_ += count;
+  }
+
+  Options options_;
+  std::deque<Operation> buffer_;  // completion-ordered, from consumed_ on
+  std::uint64_t consumed_ = 0;    // absolute index of buffer_.front()
+  std::uint64_t watermark_ = 0;   // min invoke_ts of any future feed
+  std::uint64_t windows_checked_ = 0;
+  std::uint64_t violations_ = 0;
+  std::uint64_t undecided_ = 0;
+};
+
+}  // namespace swsig::lincheck

@@ -47,6 +47,7 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -84,6 +85,10 @@ struct BatchRegOps {
   virtual void apply(int self, std::uint64_t sn, int vid) = 0;
   // Serves per-register READ/STATE messages (same as the unbatched path).
   virtual void handle(const Message& m) = 0;
+  // Crash/recovery hooks — same contract as detail::HandlerBase in
+  // emulated_swmr.hpp (the shard wipes its own round tallies).
+  virtual void crash_process(int pid) = 0;
+  virtual void resync_process(int self) = 0;
 };
 
 }  // namespace detail
@@ -110,13 +115,35 @@ class BatchShard {
         batch_max_(batch_max),
         net_(Network::Options{n, reorder_seed}),
         state_(static_cast<std::size_t>(n) + 1),
+        crashed_(static_cast<std::size_t>(n) + 1),
         writers_(static_cast<std::size_t>(n) + 1),
-        pool_(net_, n, [this](int self, const Message& m) { handle(self, m); }) {}
+        pool_(net_, n, [this](int self, const Message& m) { handle(self, m); }) {
+    for (auto& c : crashed_) c.store(false, std::memory_order_relaxed);
+  }
 
   ~BatchShard() { stop(); }
   void stop() { pool_.stop(); }
 
   Network& network() { return net_; }
+
+  // Crash model, shard side: while crashed, pid's server thread drops every
+  // message (neither receives nor sends), and its in-progress round tallies
+  // are wiped. The echoed / echoed_ops / delivered dedup sets persist —
+  // stable storage, same rationale as EmulatedSwmr::crash_process (without
+  // it a rejoined server could echo-support an sn twice across rounds,
+  // reopening the equivocation vector the sets exist to close). Register
+  // stored state is wiped by the Space via BatchRegOps::crash_process.
+  void crash(runtime::ProcessId pid) {
+    crashed_[static_cast<std::size_t>(pid)].store(true,
+                                                  std::memory_order_release);
+    std::scoped_lock lock(mu_);
+    state_[static_cast<std::size_t>(pid)].cands.clear();
+  }
+
+  void restart(runtime::ProcessId pid) {
+    crashed_[static_cast<std::size_t>(pid)].store(false,
+                                                  std::memory_order_release);
+  }
 
   void add_register(int reg_id, detail::BatchRegOps* ops) {
     std::scoped_lock lock(mu_);
@@ -228,6 +255,9 @@ class BatchShard {
   // ------------------------------------------------------------- server
 
   void handle(int self, const Message& m) {
+    if (crashed_[static_cast<std::size_t>(self)].load(
+            std::memory_order_acquire))
+      return;  // crashed process: neither receives nor reacts
     if (m.reg == kBatchProto) {
       try {
         if (m.type == "BWRITE") {
@@ -391,6 +421,7 @@ class BatchShard {
   std::mutex mu_;  // protocol state: registry_, state_, digests_
   std::map<int, detail::BatchRegOps*> registry_;
   std::vector<ServerState> state_;       // per process
+  std::vector<std::atomic<bool>> crashed_;  // index by pid
   std::vector<CanonicalBatch> digests_;  // interned batches, id = index
   std::map<CanonicalBatch, int> digest_index_;  // canon -> id, O(log R)
   std::vector<WriterState> writers_;     // per owner (own mutex each)
@@ -421,7 +452,7 @@ class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
   void write(T v) {
     this->require_owner("write");
     std::scoped_lock wl(this->writer_mu_);
-    shard_->await(this->owner_, submit_locked(std::move(v)));
+    await_locked(submit_locked(std::move(v)));
   }
 
   // Asynchronous write: enqueues the op and returns a ticket. Pending ops
@@ -435,7 +466,7 @@ class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
 
   void await(std::uint64_t ticket) {
     this->require_owner("await");
-    shard_->await(this->owner_, ticket);
+    await_locked(ticket);
   }
 
   // Owner read-modify-write, atomic against the owner's other writing
@@ -445,7 +476,7 @@ class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
   T update(F&& fn) {
     this->require_owner("update");
     return this->update_with(std::forward<F>(fn), [this](T v) {
-      shard_->await(this->owner_, submit_locked(std::move(v)));
+      await_locked(submit_locked(std::move(v)));
     });
   }
 
@@ -478,13 +509,28 @@ class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
     }
   }
 
+  void crash_process(int pid) override {
+    std::scoped_lock lock(this->mu_);
+    this->reset_stored_locked(pid);
+    // Round tallies live in the shard; it wipes them in BatchShard::crash.
+  }
+
+  void resync_process(int self) override {
+    this->resync_via(shard_->network(), self);
+  }
+
  private:
   // Allocates the sn, updates owner_view_ sn-monotonically, and hands the
   // op to the shard. Caller holds writer_mu_.
   std::uint64_t submit_locked(T v) {
     const std::uint64_t sn = this->allocate_sn_locked(v);
-    return shard_->submit(this->owner_, this->reg_id_, sn,
-                          std::any(std::move(v)));
+    std::any payload(std::move(v));
+    return shard_->submit(this->owner_, this->reg_id_, sn, std::move(payload));
+  }
+
+  // Blocks on the shard until `ticket`'s round completed.
+  void await_locked(std::uint64_t ticket) {
+    shard_->await(this->owner_, ticket);
   }
 
   BatchShard* shard_;
@@ -513,6 +559,9 @@ class BatchedEmulatedSpace {
     std::uint64_t reorder_seed = 0;
     int shards = 1;     // independent networks; registers round-robin
     int batch_max = 8;  // max ops per broadcast round
+    // Run the quorum resync when a crashed process restarts (see
+    // EmulatedSpace::Options::recover_on_restart).
+    bool recover_on_restart = true;
   };
 
   explicit BatchedEmulatedSpace(Options options) : options_(options) {
@@ -552,6 +601,23 @@ class BatchedEmulatedSpace {
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
   BatchShard& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+
+  // Crash / restart / resync across all shards — same contract and driver
+  // preconditions as EmulatedSpace (crash only quiesced pids, ≤ f down).
+  void crash(runtime::ProcessId pid) {
+    for (auto& s : shards_) s->crash(pid);
+    for (auto* reg : reg_ops()) reg->crash_process(pid);
+  }
+
+  void restart(runtime::ProcessId pid) {
+    for (auto& s : shards_) s->restart(pid);
+    if (options_.recover_on_restart) resync(pid);
+  }
+
+  void resync(runtime::ProcessId pid) {
+    runtime::ThisProcess::Binder bind(pid);
+    for (auto* reg : reg_ops()) reg->resync_process(pid);
+  }
 
   // Aggregate across shards (each shard has its own Network).
   std::uint64_t messages_sent() const {
@@ -593,6 +659,14 @@ class BatchedEmulatedSpace {
     shard.add_register(id, reg.get());
     registry_.push_back(std::move(reg));
     return ref;
+  }
+
+  std::vector<detail::BatchRegOps*> reg_ops() {
+    std::scoped_lock lock(mu_);
+    std::vector<detail::BatchRegOps*> out;
+    out.reserve(registry_.size());
+    for (auto& reg : registry_) out.push_back(reg.get());
+    return out;
   }
 
   Options options_;

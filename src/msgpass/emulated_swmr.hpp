@@ -41,6 +41,7 @@
 // detail::SwmrCore in msgpass/swmr_core.hpp.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -69,6 +70,13 @@ struct HandlerBase {
   virtual ~HandlerBase() = default;
   // Runs on the server thread of the receiving process (bound to its pid).
   virtual void handle(const Message& m) = 0;
+  // Crash model (driven by the owning Space): wipe the volatile protocol
+  // state process pid held for this register. Stable-storage state (the
+  // echoed/delivered dedup sets) survives — see EmulatedSwmr::crash_process.
+  virtual void crash_process(int pid) = 0;
+  // Recovery: the calling thread is bound as process `self` (rejoined after
+  // a crash); replay the missed certificates from f+1 live peers.
+  virtual void resync_process(int self) = 0;
 };
 }  // namespace detail
 
@@ -142,6 +150,21 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
       this->accept_state(m);
     }
   }
+
+  // Crash semantics: a crash loses the server's volatile state — its stored
+  // (sn, value) pair and any in-progress ladder tallies (echo/accept vote
+  // counts for undelivered sns). The echoed and delivered dedup sets are
+  // modeled as stable storage (a write-ahead bit flipped before the
+  // corresponding broadcast): without them a rejoined server could echo a
+  // second value for an sn it already echoed — becoming equivocation
+  // support the safety argument forbids — or re-deliver and re-ACK old sns.
+  void crash_process(int pid) override {
+    std::scoped_lock lock(this->mu_);
+    this->reset_stored_locked(pid);
+    ladder_[static_cast<std::size_t>(pid)].cands.clear();
+  }
+
+  void resync_process(int self) override { this->resync_via(*net_, self); }
 
  private:
   struct Candidate {
@@ -299,17 +322,58 @@ class EmulatedSpace {
     int n = 4;
     int f = 1;
     std::uint64_t reorder_seed = 0;
+    // Run the quorum resync when a crashed process restarts. Disabled only
+    // by the crash/rejoin regression test, to demonstrate the stale state a
+    // rejoined server would otherwise serve.
+    bool recover_on_restart = true;
   };
 
   explicit EmulatedSpace(Options options)
       : options_(options),
         net_(Network::Options{options.n, options.reorder_seed}),
+        crashed_(static_cast<std::size_t>(options.n) + 1),
         pool_(net_, options.n,
-              [this](int, const Message& m) { dispatch(m); }) {}
+              [this](int pid, const Message& m) { dispatch(pid, m); }) {
+    for (auto& c : crashed_) c.store(false, std::memory_order_relaxed);
+  }
 
   ~EmulatedSpace() { stop(); }
 
   void stop() { pool_.stop(); }
+
+  // ---------------------------------------------------- crash / restart
+  //
+  // Precondition (driver-enforced): pid has no in-flight client operations
+  // of its own — crash models a server, not an operation, dying. Its
+  // server thread keeps running but drops everything (a crashed process
+  // neither receives nor sends), and each register wipes pid's volatile
+  // protocol state. At most f processes may be down at once or quorum
+  // waits of live clients block (there is no retransmission).
+
+  void crash(runtime::ProcessId pid) {
+    std::vector<detail::HandlerBase*> regs = handlers();
+    crashed_[static_cast<std::size_t>(pid)].store(true,
+                                                  std::memory_order_release);
+    for (auto* reg : regs) reg->crash_process(pid);
+  }
+
+  // Brings pid back. With recover_on_restart the rejoining server replays
+  // the certificates it missed from f+1 live peers (resync) before the
+  // call returns; without it the server rejoins with its wiped (0, initial)
+  // state and serves stale STATE replies until organic traffic catches it
+  // up — exactly what the regression test demonstrates.
+  void restart(runtime::ProcessId pid) {
+    crashed_[static_cast<std::size_t>(pid)].store(false,
+                                                  std::memory_order_release);
+    if (options_.recover_on_restart) resync(pid);
+  }
+
+  // Quorum resync of every register's state for pid, callable on its own —
+  // the soak driver also uses it to heal drop-window staleness.
+  void resync(runtime::ProcessId pid) {
+    runtime::ThisProcess::Binder bind(pid);
+    for (auto* reg : handlers()) reg->resync_process(pid);
+  }
 
   template <typename T>
   EmulatedSwmr<T>& make_swmr(runtime::ProcessId owner, T initial,
@@ -342,7 +406,12 @@ class EmulatedSpace {
   const Options& options() const { return options_; }
 
  private:
-  void dispatch(const Message& m) {
+  void dispatch(int pid, const Message& m) {
+    // Crashed process: neither receives nor reacts (and since all its
+    // protocol sends happen from this handler, it does not send either).
+    if (crashed_[static_cast<std::size_t>(pid)].load(
+            std::memory_order_acquire))
+      return;
     detail::HandlerBase* handler = nullptr;
     {
       std::scoped_lock lock(mu_);
@@ -358,10 +427,19 @@ class EmulatedSpace {
     }
   }
 
+  std::vector<detail::HandlerBase*> handlers() {
+    std::scoped_lock lock(mu_);
+    std::vector<detail::HandlerBase*> out;
+    out.reserve(registry_.size());
+    for (auto& reg : registry_) out.push_back(reg.get());
+    return out;
+  }
+
   Options options_;
   Network net_;
   std::mutex mu_;
   std::vector<std::unique_ptr<detail::HandlerBase>> registry_;
+  std::vector<std::atomic<bool>> crashed_;  // index by pid
   detail::ServerPool pool_;  // last member: threads stop before state dies
 };
 

@@ -1,5 +1,6 @@
 #include "msgpass/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace swsig::msgpass {
@@ -9,9 +10,11 @@ Network::Network(Options options) : options_(options) {
   inboxes_.reserve(static_cast<std::size_t>(options_.n) + 1);
   for (int pid = 0; pid <= options_.n; ++pid) {
     inboxes_.push_back(std::make_unique<Inbox>());
-    if (options_.reorder_seed != 0)
-      inboxes_.back()->rng =
-          util::Rng(options_.reorder_seed + static_cast<std::uint64_t>(pid));
+    // Per-inbox streams are always seeded (reorder_seed may be 0): the rng
+    // is only consulted when reordering is active — via reorder_seed or a
+    // fault injector's reorder window — and must be deterministic in both.
+    inboxes_.back()->rng =
+        util::Rng(options_.reorder_seed + static_cast<std::uint64_t>(pid));
   }
 }
 
@@ -37,7 +40,44 @@ void Network::broadcast(Message m) {
   }
 }
 
+void Network::set_fault_injector(FaultInjector* injector) {
+  {
+    std::scoped_lock lock(delay_mu_);
+    if (injector != nullptr && !pump_.joinable())
+      pump_ = std::jthread([this](std::stop_token st) { pump(st); });
+  }
+  injector_.store(injector, std::memory_order_release);
+  // Detaching flushes held-back messages immediately: the channel is
+  // reliable again, so nothing may stay parked behind a dead schedule.
+  if (injector == nullptr) delay_cv_.notify_all();
+}
+
 void Network::deliver(Message m) {
+  if (FaultInjector* fi = injector_.load(std::memory_order_acquire)) {
+    const FaultDecision d = fi->on_deliver(m);
+    if (d.drop) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (d.delay.count() > 0) {
+      delayed_total_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::scoped_lock lock(delay_mu_);
+        delayed_.push_back(
+            Delayed{std::chrono::steady_clock::now() + d.delay, std::move(m)});
+        std::push_heap(delayed_.begin(), delayed_.end(),
+                       [](const Delayed& a, const Delayed& b) {
+                         return a.due > b.due;  // min-heap by due time
+                       });
+      }
+      delay_cv_.notify_all();
+      return;
+    }
+  }
+  enqueue(std::move(m));
+}
+
+void Network::enqueue(Message m) {
   Inbox& inbox = inbox_for(m.to);
   {
     std::scoped_lock lock(inbox.mu);
@@ -47,16 +87,56 @@ void Network::deliver(Message m) {
   sent_.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Delay pump: sleeps until the earliest held message is due (or a new one
+// arrives, or the injector detaches), then re-delivers everything due. With
+// no injector attached, any remaining messages are flushed unconditionally.
+void Network::pump(std::stop_token st) {
+  const auto heap_cmp = [](const Delayed& a, const Delayed& b) {
+    return a.due > b.due;
+  };
+  std::unique_lock lock(delay_mu_);
+  while (!st.stop_requested()) {
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock, st, [&] { return !delayed_.empty(); });
+      continue;
+    }
+    const bool flush_all = injector_.load(std::memory_order_acquire) == nullptr;
+    const auto now = std::chrono::steady_clock::now();
+    if (flush_all || delayed_.front().due <= now) {
+      std::pop_heap(delayed_.begin(), delayed_.end(), heap_cmp);
+      Message m = std::move(delayed_.back().m);
+      delayed_.pop_back();
+      lock.unlock();
+      enqueue(std::move(m));
+      lock.lock();
+      continue;
+    }
+    // Copy the deadline out of the heap: wait_until binds its abs_time
+    // parameter by reference and releases the lock while blocked, so a
+    // concurrent deliver() pushing into delayed_ (reallocation / heap sift)
+    // would leave the reference dangling — the pump then re-sleeps on a
+    // garbage deadline forever and parked messages never flush.
+    const auto due = delayed_.front().due;
+    delay_cv_.wait_until(lock, st, due, [] { return false; });
+  }
+}
+
 std::optional<Message> Network::recv(std::stop_token st) {
-  Inbox& inbox = inbox_for(runtime::ThisProcess::id());
+  const runtime::ProcessId self = runtime::ThisProcess::id();
+  Inbox& inbox = inbox_for(self);
   std::unique_lock lock(inbox.mu);
   // Stop-token-aware wait: returns false (with the queue still empty) when
   // the token is stopped before a message arrives. No timed polling — the
   // stop request itself wakes the wait.
   if (!inbox.cv.wait(lock, st, [&] { return !inbox.queue.empty(); }))
     return std::nullopt;
+  bool reorder = options_.reorder_seed != 0;
+  if (!reorder) {
+    FaultInjector* fi = injector_.load(std::memory_order_acquire);
+    reorder = fi != nullptr && fi->reorder(self);
+  }
   std::size_t index = 0;
-  if (options_.reorder_seed != 0 && inbox.queue.size() > 1)
+  if (reorder && inbox.queue.size() > 1)
     index = static_cast<std::size_t>(
         inbox.rng.uniform(0, inbox.queue.size() - 1));
   Message m = std::move(inbox.queue[index]);
@@ -75,6 +155,14 @@ std::optional<Message> Network::try_recv() {
 
 std::uint64_t Network::messages_sent() const {
   return sent_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Network::messages_dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Network::messages_delayed() const {
+  return delayed_total_.load(std::memory_order_relaxed);
 }
 
 }  // namespace swsig::msgpass

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "msgpass/faults.hpp"
 #include "msgpass/message.hpp"
 #include "runtime/process.hpp"
 #include "util/rng.hpp"
@@ -50,7 +51,15 @@ class Network {
   // Non-blocking receive.
   std::optional<Message> try_recv();
 
+  // Attaches (or, with nullptr, detaches) a fault injector. The injector
+  // must outlive its attachment; the first attach starts the delay pump
+  // thread that re-delivers held-back messages when their hold expires.
+  void set_fault_injector(FaultInjector* injector);
+
   std::uint64_t messages_sent() const;
+  // Fault accounting (0 unless an injector dropped/held something).
+  std::uint64_t messages_dropped() const;
+  std::uint64_t messages_delayed() const;
   int n() const { return options_.n; }
 
  private:
@@ -62,13 +71,27 @@ class Network {
     std::deque<Message> queue;
     util::Rng rng{0};
   };
+  struct Delayed {
+    std::chrono::steady_clock::time_point due;
+    Message m;
+  };
 
   Inbox& inbox_for(runtime::ProcessId pid);
   void deliver(Message m);
+  void enqueue(Message m);  // final step: into the receiver's inbox
+  void pump(std::stop_token st);
 
   Options options_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;  // index by pid
   std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> delayed_total_{0};
+  std::atomic<FaultInjector*> injector_{nullptr};
+  // Held-back (delayed) messages, re-delivered by the pump thread.
+  std::mutex delay_mu_;
+  std::condition_variable_any delay_cv_;
+  std::vector<Delayed> delayed_;  // min-heap by due
+  std::jthread pump_;             // started lazily by set_fault_injector
 };
 
 // Polls `count` — typically [&]{ return net.messages_sent(); }, or an

@@ -31,6 +31,14 @@ class SwmrCore {
   const std::string& name() const { return name_; }
   runtime::ProcessId owner() const { return owner_; }
 
+  // Inspection hook for crash/recovery tests and the soak harness: process
+  // pid's stored (sn, value) pair.
+  std::pair<std::uint64_t, T> stored_state(int pid) const {
+    std::scoped_lock lock(mu_);
+    const StoredState& st = state_.at(static_cast<std::size_t>(pid));
+    return {st.stored_sn, st.stored_val};
+  }
+
  protected:
   SwmrCore(int reg_id, int n, int f, runtime::ProcessId owner, T initial,
            std::string name, runtime::ProcessId sole_reader)
@@ -40,6 +48,7 @@ class SwmrCore {
         owner_(owner),
         sole_reader_(sole_reader),
         name_(std::move(name)),
+        initial_(initial),
         owner_view_(initial) {
     state_.resize(static_cast<std::size_t>(n_) + 1);
     for (int pid = 0; pid <= n_; ++pid) {
@@ -76,7 +85,7 @@ class SwmrCore {
   }
 
   // Allocates the next write sn and updates owner_view_ sn-monotonically,
-  // so an owner-local read never observes an older value after a higher sn
+  // so an owner-local RMW never observes an older value after a higher sn
   // was handed to the write path. Caller holds writer_mu_.
   std::uint64_t allocate_sn_locked(const T& v) {
     std::scoped_lock lock(mu_);
@@ -112,6 +121,18 @@ class SwmrCore {
   // Read by any process (or the sole reader, for SWSR use): broadcast READ
   // on `net`, return the value of the highest (sn, value) pair reported
   // identically by n−f distinct processes; retry until stores converge.
+  //
+  // The owner takes the same quorum path as everyone else. Any owner-local
+  // shortcut is unsound in one direction or the other: serving the pending
+  // owner_view_ surfaces a value before remote readers can see it (old-new
+  // inversion against a later remote read), while serving the last
+  // ACK-quorum-committed value LAGS remote visibility — a remote read can
+  // assemble its n−f identical STATEs and respond before the owner's ACK
+  // wait finishes, so a later owner-local read of the committed view
+  // returns the older value (new-old inversion; caught fault-free by the
+  // soak's windowed checker and the owner-read race regression test).
+  // Linearizability of the quorum path itself is self-certifying: n−f
+  // identical replies pin every later read at that sn or higher.
   T read_via(Network& net) {
     const runtime::ProcessId self = runtime::ThisProcess::id();
     if (sole_reader_ != runtime::kNoProcess && self != sole_reader_ &&
@@ -119,11 +140,19 @@ class SwmrCore {
       throw registers::PortViolation("read of emulated SWSR '" + name_ +
                                      "' by p" + std::to_string(self));
     }
-    if (self == owner_) {
-      // The single writer's latest write is trivially the current value.
-      std::scoped_lock lock(mu_);
-      return owner_view_;
-    }
+    const auto [sn, vid] = quorum_pair_via(net, n_ - f_);
+    (void)sn;
+    std::scoped_lock lock(mu_);
+    return values_.at(static_cast<std::size_t>(vid));
+  }
+
+  // The quorum loop shared by reads and recovery: broadcast READ, return
+  // the highest (sn, value-id) pair vouched identically by >= `support`
+  // distinct repliers, retrying with fresh rids until one emerges. Reads
+  // use support = n−f (self-certifying, design note 6); recovery uses
+  // support = f+1 — enough to pin at least one correct voucher, i.e. a
+  // certificate the Bracha ladder really delivered.
+  std::pair<std::uint64_t, int> quorum_pair_via(Network& net, int support) {
     for (;;) {
       std::uint64_t rid;
       {
@@ -140,25 +169,49 @@ class SwmrCore {
       cv_.wait(lock, [&] {
         return static_cast<int>(reads_[rid].senders.size()) >= n_ - f_;
       });
-      // Highest pair reported identically by n−f distinct processes.
-      std::optional<T> result;
+      // Highest pair reported identically by >= support distinct processes.
       std::uint64_t best_sn = 0;
-      bool found = false;
-      for (const auto& [key, support] : reads_[rid].support) {
-        if (static_cast<int>(support.size()) >= n_ - f_ &&
-            (!found || key.first > best_sn)) {
+      int best_vid = -1;
+      for (const auto& [key, vouchers] : reads_[rid].support) {
+        if (static_cast<int>(vouchers.size()) >= support &&
+            (best_vid < 0 || key.first > best_sn)) {
           best_sn = key.first;
-          result = values_.at(static_cast<std::size_t>(key.second));
-          found = true;
+          best_vid = key.second;
         }
       }
       reads_.erase(rid);
-      if (found) return *result;
-      // No quorum-supported pair among these replies (stores still
+      if (best_vid >= 0) return {best_sn, best_vid};
+      // No sufficiently-supported pair among these replies (stores still
       // converging): retry with a fresh request.
       lock.unlock();
       std::this_thread::yield();
     }
+  }
+
+  // ---------------------------------------------------- crash / recovery
+
+  // Wipes process pid's server-side stored pair back to (0, initial) — the
+  // volatile state lost in a crash. The subclass wipes its own ladder
+  // tallies; echo/delivery dedup sets persist (modeled as a stable-storage
+  // write-ahead bit, exactly what keeps a rejoined server from
+  // re-supporting an equivocation it already refused). Caller holds mu_.
+  void reset_stored_locked(int pid) {
+    StoredState& st = state_[static_cast<std::size_t>(pid)];
+    st.stored_sn = 0;
+    st.stored_val = initial_;
+  }
+
+  // The recovery subsystem: a rejoining server (calling thread bound as
+  // `self`) replays the certificates it missed by adopting the highest
+  // (sn, value) pair vouched by f+1 live peers — at least one of them
+  // correct, so the pair was genuinely certified by a delivered ladder.
+  // Safe against Byzantine repliers by the f+1 threshold and idempotent /
+  // monotone by the sn-guarded apply. Requires n−f live repliers (the
+  // driver restarts one process at a time, within the fault budget).
+  void resync_via(Network& net, int self) {
+    const auto [sn, vid] = quorum_pair_via(net, f_ + 1);
+    std::scoped_lock lock(mu_);
+    apply_locked(self, sn, vid);
   }
 
   // Server side of read_via: reply with process `self`'s stored pair.
@@ -205,6 +258,7 @@ class SwmrCore {
   const runtime::ProcessId owner_;
   const runtime::ProcessId sole_reader_;  // kNoProcess = SWMR
   const std::string name_;
+  const T initial_;  // crash wipes a server's store back to this
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -215,7 +269,7 @@ class SwmrCore {
   std::vector<T> values_;            // interned values
   std::vector<StoredState> state_;   // per process
   std::uint64_t write_sn_ = 0;       // owner-local
-  T owner_view_;                     // owner-local latest value
+  T owner_view_;                     // owner-local latest (possibly pending)
   std::uint64_t owner_view_sn_ = 0;  // sn owner_view_ corresponds to
   std::uint64_t read_rid_ = 0;
   std::map<std::uint64_t, ReadWait> reads_;

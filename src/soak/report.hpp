@@ -1,0 +1,104 @@
+// Soak run metrics: the throughput / latency / SLO summary one run emits,
+// both human-readable and as bench-JSON (bench/baseline.hpp) so
+// tools/bench_compare.py can track soak trajectories across commits.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench/baseline.hpp"
+
+namespace swsig::soak {
+
+// Percentile over a latency sample (µs). Non-destructive; returns 0 on an
+// empty sample.
+inline double percentile_us(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] + (sample[hi] - sample[lo]) * frac;
+}
+
+struct SoakMetrics {
+  std::string substrate;  // "emulated" | "batched"
+  std::uint64_t duration_ms = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t op_errors = 0;
+
+  std::uint64_t windows_checked = 0;
+  std::uint64_t window_violations = 0;
+  std::uint64_t windows_undecided = 0;
+
+  std::uint64_t liveness_violations = 0;
+  std::uint64_t max_stall_ms = 0;
+
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t resyncs = 0;
+
+  double read_p50_us = 0, read_p99_us = 0;
+  double write_p50_us = 0, write_p99_us = 0;
+
+  std::uint64_t total_ops() const { return reads + writes; }
+
+  double ops_per_s() const {
+    return duration_ms == 0
+               ? 0
+               : static_cast<double>(total_ops()) * 1000.0 /
+                     static_cast<double>(duration_ms);
+  }
+
+  // SLO: the run is healthy iff nothing stalled, no sampled window failed
+  // to linearize, and no operation errored.
+  bool slo_ok() const {
+    return liveness_violations == 0 && window_violations == 0 &&
+           op_errors == 0;
+  }
+
+  void emit(bench::Reporter& rep) const {
+    const std::string p = "soak." + substrate + ".";
+    rep.metric(p + "ops_per_s", ops_per_s());
+    rep.metric(p + "total_ops", static_cast<double>(total_ops()));
+    rep.metric(p + "read_p50_us", read_p50_us);
+    rep.metric(p + "read_p99_us", read_p99_us);
+    rep.metric(p + "write_p50_us", write_p50_us);
+    rep.metric(p + "write_p99_us", write_p99_us);
+    rep.metric(p + "max_stall_ms", static_cast<double>(max_stall_ms));
+    rep.metric(p + "windows_checked_ops",
+               static_cast<double>(windows_checked));
+    // SLO counters: hard zeros in a healthy run (lower is better).
+    rep.metric(p + "slo.liveness_violations",
+               static_cast<double>(liveness_violations));
+    rep.metric(p + "slo.window_violations",
+               static_cast<double>(window_violations));
+    rep.metric(p + "slo.op_errors", static_cast<double>(op_errors));
+  }
+
+  void print(std::ostream& os) const {
+    os << "[" << substrate << "] " << total_ops() << " ops in "
+       << duration_ms << " ms (" << static_cast<std::uint64_t>(ops_per_s())
+       << " ops/s; " << writes << " writes, " << reads << " reads, "
+       << op_errors << " errors)\n"
+       << "  latency us: read p50 " << read_p50_us << " p99 " << read_p99_us
+       << "; write p50 " << write_p50_us << " p99 " << write_p99_us << "\n"
+       << "  checker: " << windows_checked << " windows, "
+       << window_violations << " violations, " << windows_undecided
+       << " undecided\n"
+       << "  liveness: " << liveness_violations << " violations, max stall "
+       << max_stall_ms << " ms\n"
+       << "  faults: " << messages_dropped << " dropped, "
+       << messages_delayed << " delayed, " << crashes << " crashes, "
+       << resyncs << " resyncs\n"
+       << "  SLO: " << (slo_ok() ? "OK" : "VIOLATED") << "\n";
+  }
+};
+
+}  // namespace swsig::soak

@@ -1,0 +1,585 @@
+// The soak run itself: a wall-clock-budgeted adversarial workload over one
+// msgpass substrate (EmulatedSpace or BatchedEmulatedSpace), combining
+//
+//   * client churn: worker threads bound to honest processes, each op
+//     picking a register out of thousands (hot-set biased so registers see
+//     real cross-window contention),
+//   * a FaultSchedule attached to every Network (drop/delay/reorder),
+//   * crash windows: the victim's clients are parked, the process crashes
+//     mid-protocol, and on restart the recovery subsystem resyncs its
+//     state from f+1 live peers,
+//   * Byzantine agents toggled on and off at runtime, spraying forged
+//     protocol traffic at decoy registers (equivocating WRITEs, bogus
+//     votes) from their own authenticated identity,
+//   * a LivenessMonitor gating progress and a WindowedChecker sampling
+//     sliding windows of the live history through the partitioned
+//     linearizability checker.
+//
+// Fault-budget coordination (the reason the driver, not the schedule, owns
+// impairment): the impaired set — crashed ∪ drop-targeted ∪ Byzantine —
+// must stay within f at every instant, and a drop victim must have no
+// in-flight blocking operation of its own (no retransmission layer). So
+// with --byzantine K the Byzantine pids ARE the victim pool, exactly one
+// victim is impaired per window, and the driver parks the victim's workers
+// before engaging drops or crashing, resyncing and releasing them after.
+#pragma once
+
+#include <algorithm>
+#include <any>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "lincheck/history.hpp"
+#include "lincheck/window.hpp"
+#include "msgpass/batched_space.hpp"
+#include "msgpass/emulated_swmr.hpp"
+#include "runtime/process.hpp"
+#include "soak/fault_schedule.hpp"
+#include "soak/liveness.hpp"
+#include "soak/report.hpp"
+#include "util/rng.hpp"
+
+namespace swsig::soak {
+
+struct SoakConfig {
+  int n = 4;
+  int f = 1;
+  int registers = 2048;  // honest registers, round-robin over honest pids
+  int clients = 8;       // worker threads, round-robin over honest pids
+  std::uint64_t duration_ms = 60000;
+  std::uint64_t seed = 1;
+  FaultKinds faults;
+  int byzantine = 0;  // Byzantine processes (<= f): pids n, n-1, ...
+  std::string substrate = "emulated";  // label for reports/repro
+  std::size_t window_ops = 512;        // min ops per checked window
+  std::uint64_t checkpoint_ms = 250;   // forced quiescent-cut cadence
+  std::uint64_t stall_budget_ms = 10000;
+  int hot_registers = 16;  // per owner; half of all traffic lands here
+  int value_pool = 1024;   // distinct values per register (bounds interning)
+
+  // Everything needed to replay this run, in soak_driver flag syntax —
+  // printed on every failure so a failure is one command away from replay.
+  std::string repro_line() const {
+    std::ostringstream os;
+    os << "soak_driver --substrate " << substrate << " --n " << n << " --f "
+       << f << " --registers " << registers << " --clients " << clients
+       << " --duration " << (duration_ms + 999) / 1000 << " --faults "
+       << faults.to_string() << " --byzantine " << byzantine << " --seed "
+       << seed;
+    return os.str();
+  }
+};
+
+namespace detail {
+
+// ------------------------------------------------- per-substrate seams
+
+inline void set_injector(msgpass::EmulatedSpace& space,
+                         msgpass::FaultInjector* fi) {
+  space.network().set_fault_injector(fi);
+}
+inline void set_injector(msgpass::BatchedEmulatedSpace& space,
+                         msgpass::FaultInjector* fi) {
+  for (int s = 0; s < space.shard_count(); ++s)
+    space.shard(s).network().set_fault_injector(fi);
+}
+
+inline std::pair<std::uint64_t, std::uint64_t> fault_counts(
+    msgpass::EmulatedSpace& space) {
+  return {space.network().messages_dropped(),
+          space.network().messages_delayed()};
+}
+inline std::pair<std::uint64_t, std::uint64_t> fault_counts(
+    msgpass::BatchedEmulatedSpace& space) {
+  std::uint64_t dropped = 0, delayed = 0;
+  for (int s = 0; s < space.shard_count(); ++s) {
+    dropped += space.shard(s).network().messages_dropped();
+    delayed += space.shard(s).network().messages_delayed();
+  }
+  return {dropped, delayed};
+}
+
+// One burst of forged protocol traffic from a Byzantine process (the
+// calling thread is bound as it). Equivocating WRITEs — two values for the
+// same sn — plus bogus ECHO/ACCEPT votes, all against the process's OWN
+// decoy register (the write-port axiom holds even for Byzantine processes;
+// forged votes for others' registers are also sprayed, which servers must
+// refuse). Sns cycle over a small pool so honest-side dedup state stays
+// bounded over an hours-long soak.
+inline void spray_garbage(msgpass::EmulatedSpace& space, int decoy_reg,
+                          util::Rng& rng) {
+  msgpass::Network& net = space.network();
+  const std::uint64_t sn = rng.uniform(1, 64);
+  for (const char* type : {"WRITE", "WRITE", "ECHO", "ACCEPT"}) {
+    msgpass::Message m;
+    m.reg = decoy_reg;
+    m.type = type;
+    m.sn = sn;
+    m.payload = std::string("byz#") + std::to_string(rng.uniform(0, 7));
+    net.broadcast(m);
+  }
+}
+inline void spray_garbage(msgpass::BatchedEmulatedSpace& space, int decoy_reg,
+                          util::Rng& rng) {
+  msgpass::BatchShard& shard =
+      space.shard(decoy_reg % space.shard_count());
+  const std::uint64_t round = rng.uniform(1, 64);
+  // Equivocating rounds: same (origin, round), different batches.
+  for (int i = 0; i < 2; ++i) {
+    msgpass::Batch batch;
+    batch.push_back(msgpass::BatchOp{
+        decoy_reg, rng.uniform(1, 64),
+        std::any(std::string("byz#") + std::to_string(rng.uniform(0, 7)))});
+    msgpass::Message m;
+    m.reg = msgpass::BatchShard::kBatchProto;
+    m.type = "BWRITE";
+    m.sn = round;
+    m.payload = std::move(batch);
+    shard.network().broadcast(m);
+  }
+  // Bogus votes: digest ids picked blind (out-of-range ones are refused).
+  msgpass::Message v;
+  v.reg = msgpass::BatchShard::kBatchProto;
+  v.type = rng.chance(1, 2) ? "BECHO" : "BACCEPT";
+  v.sn = round;
+  v.payload = std::pair<int, int>(static_cast<int>(rng.uniform(1, 4)),
+                                  static_cast<int>(rng.uniform(0, 9)));
+  shard.network().broadcast(v);
+}
+
+// Park gate: the fault driver asks a victim's workers to quiesce before
+// impairing it (see file comment), and the checker loop parks EVERY
+// worker for its quiescent-cut checkpoints — `park` is a request COUNT so
+// the two park/release pairs compose (workers run only while no request
+// is outstanding).
+struct ParkGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int park = 0;     // outstanding park requests
+  int workers = 0;  // workers assigned to this pid
+  int parked = 0;
+
+  // Worker side: called between ops; blocks while parked.
+  // Returns true if it parked (caller re-attaches to liveness after).
+  template <typename OnPark>
+  bool pause_if_parked(OnPark&& on_park) {
+    std::unique_lock lock(mu);
+    if (park == 0) return false;
+    on_park();
+    ++parked;
+    cv.notify_all();
+    cv.wait(lock, [&] { return park == 0; });
+    --parked;
+    return true;
+  }
+
+  // Driver side: returns false if the workers failed to quiesce in time
+  // (a stall the liveness monitor will flag; the window is skipped).
+  bool engage_park(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu);
+    ++park;
+    cv.notify_all();
+    if (!cv.wait_for(lock, timeout, [&] { return parked == workers; })) {
+      --park;
+      cv.notify_all();
+      return false;
+    }
+    return true;
+  }
+
+  void release() {
+    std::scoped_lock lock(mu);
+    if (park > 0) --park;
+    cv.notify_all();
+  }
+
+  // Shutdown: drop every outstanding request so no worker stays parked.
+  void force_release() {
+    std::scoped_lock lock(mu);
+    park = 0;
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+struct SoakOutcome {
+  SoakMetrics metrics;
+  std::vector<std::string> failures;  // empty iff the run met its SLO
+
+  bool ok() const { return failures.empty() && metrics.slo_ok(); }
+};
+
+// Runs the soak workload against `space` (constructed by the caller with
+// matching n/f) for cfg.duration_ms. Registers of type std::string.
+template <typename Space>
+SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
+  using Clock = std::chrono::steady_clock;
+  SoakOutcome out;
+  out.metrics.substrate = cfg.substrate;
+
+  // ----- processes: byzantine pids are the top `byzantine` ids and form
+  // the victim pool; the rest are honest owners.
+  std::vector<runtime::ProcessId> honest, byz;
+  for (int pid = 1; pid <= cfg.n; ++pid) {
+    if (pid > cfg.n - cfg.byzantine)
+      byz.push_back(pid);
+    else
+      honest.push_back(pid);
+  }
+
+  // ----- registers: honest ones round-robin over honest owners; one decoy
+  // per Byzantine pid (never recorded, never touched by honest clients —
+  // a Byzantine owner's writes are unverifiable by construction).
+  struct RegEntry {
+    std::string name;
+    runtime::ProcessId owner;
+    void* reg;  // EmulatedSwmr<std::string>* or BatchedSwmr<std::string>*
+  };
+  using Reg = typename Space::template SwmrFor<std::string>;
+  std::vector<RegEntry> regs;
+  std::map<runtime::ProcessId, std::vector<int>> owned;  // pid -> reg index
+  regs.reserve(static_cast<std::size_t>(cfg.registers));
+  for (int i = 0; i < cfg.registers; ++i) {
+    const runtime::ProcessId owner =
+        honest[static_cast<std::size_t>(i) % honest.size()];
+    const std::string name = "r" + std::to_string(i);
+    Reg& r = space.template make_swmr<std::string>(owner, "0", name);
+    regs.push_back(RegEntry{name, owner, &r});
+    owned[owner].push_back(i);
+  }
+  std::map<runtime::ProcessId, int> decoys;  // byz pid -> decoy reg id
+  int next_reg_id = cfg.registers;  // spaces assign ids in creation order
+  for (const runtime::ProcessId pid : byz) {
+    space.template make_swmr<std::string>(pid, "0",
+                                          "decoy-p" + std::to_string(pid));
+    decoys[pid] = next_reg_id++;
+  }
+
+  // ----- shared infrastructure
+  lincheck::HistoryRecorder rec;
+  LivenessMonitor liveness(
+      LivenessMonitor::Options{cfg.stall_budget_ms, /*error_budget=*/0});
+  lincheck::WindowedChecker::Options wopts;
+  wopts.min_window_ops = cfg.window_ops;
+  lincheck::WindowedChecker checker(wopts);
+
+  FaultScheduleConfig fcfg;
+  fcfg.seed = cfg.seed;
+  fcfg.kinds = cfg.faults;
+  fcfg.victims = byz.empty() ? std::vector<runtime::ProcessId>{cfg.n} : byz;
+  FaultSchedule schedule(fcfg);
+  detail::set_injector(space, &schedule);
+
+  std::map<runtime::ProcessId, detail::ParkGate> gates;
+  for (int pid = 1; pid <= cfg.n; ++pid) gates[pid];
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> live_workers{0};
+  std::atomic<std::uint64_t> reads{0}, writes{0}, errors{0};
+  std::atomic<bool> byz_on{false};
+  std::mutex sample_mu;
+  std::vector<double> read_us, write_us;
+  std::mutex fail_mu;
+
+  const auto record_failure = [&](std::string what) {
+    std::scoped_lock lock(fail_mu);
+    if (out.failures.size() < 16) out.failures.push_back(std::move(what));
+  };
+
+  // ----- client workers
+  const int nclients = std::max(cfg.clients, static_cast<int>(honest.size()));
+  std::vector<std::jthread> workers;
+  for (int c = 0; c < nclients; ++c) {
+    const runtime::ProcessId pid =
+        honest[static_cast<std::size_t>(c) % honest.size()];
+    gates[pid].workers++;
+    live_workers.fetch_add(1, std::memory_order_relaxed);
+    workers.emplace_back([&, c, pid](std::stop_token st) {
+      runtime::ThisProcess::Binder bind(pid);
+      const std::string name =
+          "c" + std::to_string(c) + "@p" + std::to_string(pid);
+      util::Rng rng(cfg.seed * 1013u + static_cast<std::uint64_t>(c));
+      liveness.attach(name);
+      std::vector<double> my_read_us, my_write_us;
+      std::uint64_t counter = 0;  // write-value counter
+      std::uint64_t ops = 0;
+      detail::ParkGate& gate = gates[pid];
+      const std::vector<int>& mine = owned[pid];
+      while (!st.stop_requested() && !stop.load(std::memory_order_relaxed)) {
+        if (gate.pause_if_parked([&] { liveness.detach(name); }))
+          liveness.attach(name);
+        if (stop.load(std::memory_order_relaxed)) break;
+        // Hot-set bias: half of all traffic lands on each owner's first
+        // hot_registers registers, so some registers see real concurrency.
+        const auto pick = [&](const std::vector<int>& pool) {
+          const int hot = std::min<int>(cfg.hot_registers,
+                                        static_cast<int>(pool.size()));
+          if (hot > 0 && rng.chance(1, 2))
+            return pool[static_cast<std::size_t>(rng.uniform(
+                0, static_cast<std::uint64_t>(hot - 1)))];
+          return pool[static_cast<std::size_t>(
+              rng.uniform(0, pool.size() - 1))];
+        };
+        const bool do_write = !mine.empty() && rng.chance(1, 4);
+        const int idx = do_write ? pick(mine)
+                                 : static_cast<int>(rng.uniform(
+                                       0, static_cast<std::uint64_t>(
+                                              cfg.registers - 1)));
+        RegEntry& entry = regs[static_cast<std::size_t>(idx)];
+        Reg& reg = *static_cast<Reg*>(entry.reg);
+        try {
+          const auto t0 = Clock::now();
+          if (do_write) {
+            // Value pool bounds per-register interning on long runs; pool
+            // size >> window size keeps in-window values distinct.
+            const std::string v =
+                "p" + std::to_string(pid) + "#" +
+                std::to_string(counter++ %
+                               static_cast<std::uint64_t>(cfg.value_pool));
+            const int token = rec.invoke(entry.name, "write", v);
+            reg.write(v);
+            rec.respond(token, "done");
+            writes.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            const int token = rec.invoke(entry.name, "read", "");
+            std::string v = reg.read();
+            rec.respond(token, std::move(v));
+            reads.fetch_add(1, std::memory_order_relaxed);
+          }
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                  .count();
+          // Every 8th op sampled, locally capped: percentiles need a
+          // representative sample, not every point of an hours-long run.
+          std::vector<double>& sample = do_write ? my_write_us : my_read_us;
+          if (++ops % 8 == 0 && sample.size() < 100000)
+            sample.push_back(us);
+          liveness.success(name);
+        } catch (const std::exception& e) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          liveness.error(name);
+          record_failure("op error on " + entry.name + " by " + name + ": " +
+                         e.what());
+        }
+      }
+      liveness.detach(name);
+      std::scoped_lock lock(sample_mu);
+      // Cap merged samples; percentiles don't need millions of points.
+      const auto merge = [](std::vector<double>& into,
+                            std::vector<double>& from) {
+        const std::size_t room =
+            into.size() < 200000 ? 200000 - into.size() : 0;
+        const std::size_t take = std::min(room, from.size());
+        into.insert(into.end(), from.begin(),
+                    from.begin() + static_cast<std::ptrdiff_t>(take));
+      };
+      merge(read_us, my_read_us);
+      merge(write_us, my_write_us);
+      live_workers.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // ----- Byzantine agents: forged traffic, toggled on/off per window.
+  std::vector<std::jthread> byz_agents;
+  for (const runtime::ProcessId pid : byz) {
+    byz_agents.emplace_back([&, pid](std::stop_token st) {
+      runtime::ThisProcess::Binder bind(pid);
+      util::Rng rng(cfg.seed * 7177u + static_cast<std::uint64_t>(pid));
+      while (!st.stop_requested()) {
+        if (byz_on.load(std::memory_order_relaxed))
+          detail::spray_garbage(space, decoys[pid], rng);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  // ----- fault driver: walks the schedule's windows, sequencing park →
+  // impair → heal → release (see file comment), and toggling Byzantine
+  // behavior window by window.
+  std::uint64_t crashes = 0, resyncs = 0;
+  std::jthread fault_driver([&](std::stop_token st) {
+    if (!cfg.faults.any() && byz.empty()) return;
+    const std::chrono::milliseconds park_timeout(
+        std::max<std::uint64_t>(cfg.stall_budget_ms / 2, 1000));
+    while (!st.stop_requested()) {
+      const std::uint64_t now = schedule.now_ms();
+      const std::uint64_t w = schedule.window_at(now);
+      // Byzantine agents act on odd windows — toggled at runtime, as the
+      // schedule requires, and verified off again between windows.
+      byz_on.store(!byz.empty() && (w % 2 == 1), std::memory_order_relaxed);
+      const runtime::ProcessId victim = schedule.victim_of(w);
+      const bool want_crash = schedule.crash_window(w) && cfg.faults.crash;
+      const bool want_drop = !want_crash && cfg.faults.drop;
+      if (victim != runtime::kNoProcess && (want_crash || want_drop) &&
+          schedule.active_at(now)) {
+        detail::ParkGate& gate = gates[victim];
+        if (gate.engage_park(park_timeout)) {
+          if (want_crash) {
+            space.crash(victim);
+            ++crashes;
+          } else {
+            schedule.engage(true);
+          }
+          // Hold the impairment for the rest of the active phase.
+          const std::uint64_t active_end =
+              w * fcfg.period_ms + fcfg.active_ms;
+          while (schedule.now_ms() < active_end && !st.stop_requested())
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          if (want_crash) {
+            space.restart(victim);  // runs the quorum resync
+            ++resyncs;
+          } else {
+            schedule.engage(false);
+            // Heal drop-window staleness with the same recovery path, so
+            // rotating victims never accumulate into >f stale servers.
+            space.resync(victim);
+            ++resyncs;
+          }
+          gate.release();
+        }
+      }
+      // Sleep to the next window boundary.
+      const std::uint64_t next = (schedule.window_at(schedule.now_ms()) + 1) *
+                                 fcfg.period_ms;
+      while (schedule.now_ms() < next && !st.stop_requested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    byz_on.store(false, std::memory_order_relaxed);
+  });
+
+  // ----- checker loop (this thread): drain the live history into
+  // quiescent-cut windows, gate on liveness, stop at the duration budget.
+  // Natural quiescent instants are rare under saturating load, so every
+  // checkpoint_ms ALL workers are parked for an instant — nothing in
+  // flight, so the drain's watermark closes the whole buffer and the
+  // checker gets a sound cut at a bounded cadence (lincheck/window.hpp).
+  const auto t_start = Clock::now();
+  const auto deadline = t_start + std::chrono::milliseconds(cfg.duration_ms);
+  const auto handle_verdicts =
+      [&](const std::vector<lincheck::WindowVerdict>& verdicts) {
+        for (const auto& v : verdicts) {
+          if (v.result.verdict == lincheck::Verdict::kViolation) {
+            out.metrics.window_violations++;
+            record_failure(
+                "window [" + std::to_string(v.first_op) + ", " +
+                std::to_string(v.last_op) + "] not linearizable (object " +
+                v.result.detail + ", " + std::to_string(v.ops.size()) +
+                " ops)");
+          } else if (v.result.verdict ==
+                     lincheck::Verdict::kBudgetExhausted) {
+            out.metrics.windows_undecided++;
+          }
+        }
+      };
+  const auto checkpoint = [&] {
+    std::vector<detail::ParkGate*> held;
+    bool all = true;
+    for (auto& [pid, gate] : gates) {
+      if (gate.workers == 0) continue;
+      if (gate.engage_park(std::chrono::milliseconds(1000))) {
+        held.push_back(&gate);
+      } else {
+        all = false;  // stalled worker: skip the cut, liveness flags it
+        break;
+      }
+    }
+    if (all) checker.feed(rec.drain());
+    for (detail::ParkGate* g : held) g->release();
+    return all;
+  };
+  auto next_checkpoint =
+      t_start + std::chrono::milliseconds(cfg.checkpoint_ms);
+  while (Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (Clock::now() >= next_checkpoint) {
+      checkpoint();
+      next_checkpoint =
+          Clock::now() + std::chrono::milliseconds(cfg.checkpoint_ms);
+    } else {
+      checker.feed(rec.drain());
+    }
+    handle_verdicts(checker.poll());
+    liveness.check();
+  }
+
+  // ----- shutdown: the fault driver first — joining it guarantees any
+  // in-progress window is wound down (crashed victim restarted, drops
+  // disengaged, gates released; its hold loops poll the stop token), so
+  // workers are never left parked or mid-impairment. Then the workers,
+  // then the final checker pass.
+  fault_driver.request_stop();
+  fault_driver = {};
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : workers) t.request_stop();
+  for (auto& g : gates) g.second.force_release();
+  // A worker that never returns is wedged INSIDE a blocking protocol op —
+  // a liveness bug that joining would turn into a silent hang. Give the
+  // stragglers a bounded grace, then name the stuck operations (the
+  // pending snapshot is exact: invoked, never responded) and abort with
+  // the repro line; a wedged workload cannot be unwound thread by thread.
+  const auto grace = Clock::now() + std::chrono::milliseconds(
+                                        std::max<std::uint64_t>(
+                                            cfg.stall_budget_ms / 2, 2000));
+  while (live_workers.load(std::memory_order_acquire) > 0 &&
+         Clock::now() < grace)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  if (live_workers.load(std::memory_order_acquire) > 0) {
+    std::cerr << "SOAK WEDGED (" << cfg.substrate << "): "
+              << live_workers.load() << " worker(s) stuck in an operation:\n";
+    for (const auto& op : rec.pending_snapshot())
+      std::cerr << "  p" << op.pid << " " << op.name << "(" << op.object
+                << (op.arg.empty() ? "" : ", " + op.arg) << ") invoked at ts "
+                << op.invoke_ts << ", never responded\n";
+    std::cerr << "REPRO: " << cfg.repro_line() << std::endl;
+    std::_Exit(3);
+  }
+  workers.clear();
+  for (auto& t : byz_agents) t.request_stop();
+  byz_agents.clear();
+
+  checker.feed(rec.drain());
+  handle_verdicts(checker.finish());
+  const LivenessMonitor::Report live = liveness.check();
+  detail::set_injector(space, nullptr);
+
+  // ----- metrics
+  SoakMetrics& m = out.metrics;
+  m.duration_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            t_start)
+          .count());
+  m.reads = reads.load();
+  m.writes = writes.load();
+  m.op_errors = errors.load();
+  m.windows_checked = checker.windows_checked();
+  m.liveness_violations = live.violations;
+  m.max_stall_ms = live.max_stall_ms;
+  const auto [dropped, delayed] = detail::fault_counts(space);
+  m.messages_dropped = dropped;
+  m.messages_delayed = delayed;
+  m.crashes = crashes;
+  m.resyncs = resyncs;
+  m.read_p50_us = percentile_us(read_us, 50);
+  m.read_p99_us = percentile_us(read_us, 99);
+  m.write_p50_us = percentile_us(write_us, 50);
+  m.write_p99_us = percentile_us(write_us, 99);
+  if (live.violations > 0)
+    record_failure("liveness: " + std::to_string(live.violations) +
+                   " stall violation(s), max stall " +
+                   std::to_string(live.max_stall_ms) + " ms");
+  return out;
+}
+
+}  // namespace swsig::soak

@@ -1,0 +1,145 @@
+// soak_driver: fault-injecting soak harness over the msgpass substrates.
+//
+//   soak_driver --duration 60 --faults drop+delay+crash --byzantine 1
+//
+// Runs the adversarial workload of soak/runner.hpp for the given budget on
+// EmulatedSpace, BatchedEmulatedSpace, or both; prints the throughput /
+// latency / SLO report and, with --json, dumps it in bench format for
+// tools/bench_compare.py. Exit status 1 if any substrate missed its SLO —
+// with the full reproduction line, so a failure is one command away from
+// replay. docs/ARCHITECTURE.md design note 12 explains the architecture
+// and how to read the numbers.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench/baseline.hpp"
+#include "msgpass/batched_space.hpp"
+#include "msgpass/emulated_swmr.hpp"
+#include "soak/fault_schedule.hpp"
+#include "soak/report.hpp"
+#include "soak/runner.hpp"
+
+namespace {
+
+using swsig::soak::FaultKinds;
+using swsig::soak::SoakConfig;
+using swsig::soak::SoakOutcome;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --duration SECONDS   wall-clock budget per substrate (default 60)\n"
+      << "  --faults SPEC        '+'-separated: drop, delay, reorder, crash\n"
+      << "                       (default drop+delay; 'none' disables)\n"
+      << "  --byzantine K        Byzantine processes, <= f (default 0)\n"
+      << "  --substrate S        emulated | batched | both (default both)\n"
+      << "  --n N --f F          system size (default 4/1, n > 3f)\n"
+      << "  --registers R        honest registers (default 2048)\n"
+      << "  --clients C          worker threads (default 8)\n"
+      << "  --seed S             schedule + workload seed (default 1)\n"
+      << "  --json [PATH]        bench-JSON report (default BENCH_soak.json)\n";
+  std::exit(2);
+}
+
+SoakOutcome run_one(const SoakConfig& cfg, swsig::bench::Reporter& rep) {
+  std::cout << "soak: " << cfg.substrate << " n=" << cfg.n << " f=" << cfg.f
+            << " registers=" << cfg.registers << " clients=" << cfg.clients
+            << " faults=" << cfg.faults.to_string()
+            << " byzantine=" << cfg.byzantine << " seed=" << cfg.seed
+            << " duration=" << cfg.duration_ms / 1000 << "s" << std::endl;
+  SoakOutcome out;
+  if (cfg.substrate == "emulated") {
+    swsig::msgpass::EmulatedSpace space(
+        swsig::msgpass::EmulatedSpace::Options{cfg.n, cfg.f, 0, true});
+    out = swsig::soak::run_soak(space, cfg);
+    space.stop();
+  } else {
+    swsig::msgpass::BatchedEmulatedSpace::Options opt;
+    opt.n = cfg.n;
+    opt.f = cfg.f;
+    opt.shards = 4;
+    swsig::msgpass::BatchedEmulatedSpace space(opt);
+    out = swsig::soak::run_soak(space, cfg);
+    space.stop();
+  }
+  out.metrics.print(std::cout);
+  out.metrics.emit(rep);
+  if (!out.ok()) {
+    std::cout << "SOAK FAILURE (" << cfg.substrate << "):\n";
+    for (const auto& f : out.failures) std::cout << "  " << f << "\n";
+    std::cout << "REPRO: " << cfg.repro_line() << std::endl;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakConfig cfg;
+  cfg.faults = FaultKinds::parse("drop+delay");
+  std::string substrate = "both";
+  swsig::bench::Reporter rep(argc, argv, "soak");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--duration") {
+        cfg.duration_ms = std::stoull(value()) * 1000;
+      } else if (arg == "--faults") {
+        cfg.faults = FaultKinds::parse(value());
+      } else if (arg == "--byzantine") {
+        cfg.byzantine = std::stoi(value());
+      } else if (arg == "--substrate") {
+        substrate = value();
+      } else if (arg == "--n") {
+        cfg.n = std::stoi(value());
+      } else if (arg == "--f") {
+        cfg.f = std::stoi(value());
+      } else if (arg == "--registers") {
+        cfg.registers = std::stoi(value());
+      } else if (arg == "--clients") {
+        cfg.clients = std::stoi(value());
+      } else if (arg == "--seed") {
+        cfg.seed = std::stoull(value());
+      } else if (arg == "--json") {
+        if (i + 1 < argc && argv[i + 1][0] != '-') ++i;  // Reporter took it
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else {
+        std::cerr << "unknown option " << arg << "\n";
+        usage(argv[0]);
+      }
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";
+      usage(argv[0]);
+    }
+  }
+  if (cfg.n <= 3 * cfg.f || cfg.byzantine > cfg.f || cfg.byzantine < 0 ||
+      cfg.registers < 1 || cfg.clients < 1) {
+    std::cerr << "invalid configuration: need n > 3f, 0 <= byzantine <= f\n";
+    return 2;
+  }
+
+  bool ok = true;
+  if (substrate == "emulated" || substrate == "both") {
+    SoakConfig c = cfg;
+    c.substrate = "emulated";
+    ok = run_one(c, rep).ok() && ok;
+  }
+  if (substrate == "batched" || substrate == "both") {
+    SoakConfig c = cfg;
+    c.substrate = "batched";
+    ok = run_one(c, rep).ok() && ok;
+  }
+  if (substrate != "emulated" && substrate != "batched" &&
+      substrate != "both") {
+    std::cerr << "unknown substrate " << substrate << "\n";
+    return 2;
+  }
+  return ok ? 0 : 1;
+}

@@ -32,6 +32,16 @@ struct StressParam {
 
 class Stress : public ::testing::TestWithParam<StressParam> {};
 
+// Full reproduction line for failure messages: which binary, which gtest
+// filter, which configuration — one copy-paste away from a replay.
+std::string repro(const char* test, int n, int f, std::uint64_t seed) {
+  return "REPRO: stress_test --gtest_filter='*" + std::string(test) + "/n" +
+         std::to_string(n) + "f" + std::to_string(f) + "s" +
+         std::to_string(seed) + "' (n=" + std::to_string(n) +
+         " f=" + std::to_string(f) + " seed=" + std::to_string(seed) +
+         " substrate=shared-memory)";
+}
+
 // Verifiable register: writer keeps writing/signing from a random stream
 // while readers verify random values; per-value relay monitors check that
 // no verified value is ever un-verified, even with a vote-flip colluder.
@@ -77,8 +87,9 @@ TEST_P(Stress, VerifiableRelayNeverRegresses) {
   }
   h.start();
   h.join();
-  EXPECT_FALSE(violation.load()) << "n=" << n << " f=" << f << " seed "
-                                 << seed;
+  EXPECT_FALSE(violation.load())
+      << "verified value regressed; "
+      << repro("VerifiableRelayNeverRegresses", n, f, seed);
 }
 
 // Authenticated register under continuous writes: reads always return a
@@ -107,7 +118,9 @@ TEST_P(Stress, AuthenticatedReadAlwaysVerifiable) {
   }
   h.start();
   h.join();
-  EXPECT_FALSE(violation.load());
+  EXPECT_FALSE(violation.load())
+      << "read value failed to verify; "
+      << repro("AuthenticatedReadAlwaysVerifiable", n, f, seed);
 }
 
 // Sticky register with an equivocating writer flipping its echo register
@@ -147,7 +160,8 @@ TEST_P(Stress, StickyUniquenessUnderEquivocation) {
   h.join();
   done = true;
   EXPECT_LE(observed.size(), 1u)
-      << "sticky register returned two different values";
+      << "sticky register returned two different values; "
+      << repro("StickyUniquenessUnderEquivocation", n, f, seed);
 }
 
 // Full-history stress: four register instances of three different types
@@ -236,12 +250,16 @@ TEST(StressHistories, HeterogeneousRegistersFullHistoryLinearizable) {
       return std::make_unique<lincheck::VerifiableRegisterSpec>("0");
     };
     const auto result = lincheck::check_linearizable(ops, factory);
+    const std::string line =
+        "REPRO: stress_test --gtest_filter='*HeterogeneousRegistersFull"
+        "HistoryLinearizable*' (n=4 f=1 seed=" +
+        std::to_string(seed) + " substrate=shared-memory)";
     EXPECT_EQ(result.verdict, lincheck::Verdict::kLinearizable)
-        << "seed " << seed << ": " << result.detail
-        << " (states=" << result.states_explored << ")";
-    EXPECT_EQ(result.witness.size(), ops.size()) << "seed " << seed;
+        << result.detail << " (states=" << result.states_explored << "); "
+        << line;
+    EXPECT_EQ(result.witness.size(), ops.size()) << line;
     EXPECT_TRUE(lincheck::replay_witness(ops, result.witness, factory))
-        << "seed " << seed;
+        << line;
   }
 }
 

@@ -1,0 +1,229 @@
+// Windowed (online) linearizability checking: soundness in both
+// directions. A known-violating window must be reported with its evidence;
+// a linearizable history must produce NO window violations — including the
+// crossing-op shape that makes naive op-count sliding windows unsound.
+// Also covers the HistoryRecorder drain()/watermark contract the checker's
+// cut detection is built on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lincheck/checker.hpp"
+#include "lincheck/history.hpp"
+#include "lincheck/register_specs.hpp"
+#include "lincheck/window.hpp"
+#include "runtime/process.hpp"
+
+namespace swsig::lincheck {
+namespace {
+
+Operation make_op(int id, int pid, const std::string& object,
+                  const std::string& name, const std::string& arg,
+                  const std::string& result, std::uint64_t invoke,
+                  std::uint64_t response) {
+  Operation op;
+  op.id = id;
+  op.pid = pid;
+  op.object = object;
+  op.name = name;
+  op.arg = arg;
+  op.result = result;
+  op.invoke_ts = invoke;
+  op.response_ts = response;
+  return op;
+}
+
+constexpr std::uint64_t kFar = 1u << 20;  // watermark: "everything is done"
+
+// The window spec starts unanchored: the first read of an object adopts
+// its result (any pre-window value is legitimate), while a plain spec with
+// an assumed initial value would cry violation.
+TEST(WindowRegisterSpec, FirstReadAdoptsUnknownStart) {
+  const std::vector<Operation> ops = {
+      make_op(1, 1, "r", "read", "", "pre-window-value", 0, 1),
+      make_op(2, 1, "r", "read", "", "pre-window-value", 2, 3),
+      make_op(3, 1, "r", "write", "b", "done", 4, 5),
+      make_op(4, 2, "r", "read", "", "b", 6, 7),
+  };
+  EXPECT_EQ(check_linearizable(ops, window_register_factory()).verdict,
+            Verdict::kLinearizable);
+  const SpecFactory plain = [](const std::string&) {
+    return std::unique_ptr<SequentialSpec>(new PlainRegisterSpec("0"));
+  };
+  EXPECT_EQ(check_linearizable(ops, plain).verdict, Verdict::kViolation);
+  // Adoption is once per object: a second, different read value after the
+  // anchor is a real violation even for the window spec.
+  const std::vector<Operation> stale = {
+      make_op(1, 1, "r", "read", "", "a", 0, 1),
+      make_op(2, 1, "r", "read", "", "b", 2, 3),
+  };
+  EXPECT_EQ(check_linearizable(stale, window_register_factory()).verdict,
+            Verdict::kViolation);
+}
+
+// A stale read (old value observed strictly after the new value, with the
+// write long finished) must be flagged, with the window's operations
+// retained as evidence.
+TEST(WindowedChecker, DetectsInjectedStaleRead) {
+  WindowedChecker checker({.min_window_ops = 2});
+  // The violating trio overlaps one long write, so no quiescent cut can
+  // separate the stale read from the read that already observed "b" — the
+  // violation is intra-window by construction. (Fed in completion order.)
+  std::vector<Operation> ops = {
+      make_op(1, 1, "r", "write", "a", "done", 0, 1),
+      make_op(2, 2, "r", "read", "", "a", 2, 3),
+      make_op(3, 2, "r", "read", "", "b", 5, 6),
+      make_op(4, 3, "r", "read", "", "a", 7, 8),  // stale: b already read
+      make_op(5, 1, "r", "write", "b", "done", 4, 9),
+  };
+  checker.feed(std::move(ops), kFar);
+  std::vector<WindowVerdict> verdicts = checker.finish();
+  ASSERT_FALSE(verdicts.empty());
+  std::uint64_t violations = 0;
+  for (const WindowVerdict& v : verdicts) {
+    if (v.ok()) continue;
+    ++violations;
+    EXPECT_EQ(v.result.verdict, Verdict::kViolation);
+    EXPECT_FALSE(v.ops.empty());  // evidence retained for the report
+    EXPECT_GE(v.last_op, v.first_op);
+  }
+  EXPECT_EQ(violations, 1u);
+  EXPECT_EQ(checker.violations(), 1u);
+}
+
+// A clean sequential-per-object history split across many quiescent cuts:
+// every window linearizable, nothing left buffered after finish().
+TEST(WindowedChecker, NoFalsePositivesOnCleanHistory) {
+  WindowedChecker checker({.min_window_ops = 8});
+  std::uint64_t ts = 0;
+  int id = 0;
+  std::vector<std::string> last(4, "init");
+  std::vector<Operation> batch;
+  std::uint64_t fed = 0;
+  for (int round = 0; round < 512 / 4; ++round) {
+    for (int obj = 0; obj < 4; ++obj) {
+      const std::string name = round % 3 == 0 ? "write" : "read";
+      const std::string reg = "r" + std::to_string(obj);
+      if (name == "write") {
+        last[static_cast<std::size_t>(obj)] = "v" + std::to_string(round);
+        batch.push_back(make_op(++id, 1 + obj % 3, reg, "write",
+                                last[static_cast<std::size_t>(obj)], "done",
+                                ts, ts + 1));
+      } else {
+        batch.push_back(make_op(++id, 1 + obj % 3, reg, "read", "",
+                                last[static_cast<std::size_t>(obj)], ts,
+                                ts + 1));
+      }
+      ts += 2;
+    }
+    if (batch.size() >= 64) {
+      fed += batch.size();
+      // Nothing pending between rounds: the watermark is the current clock.
+      checker.feed(std::move(batch), ts);
+      batch.clear();
+      for (const WindowVerdict& v : checker.poll()) EXPECT_TRUE(v.ok());
+    }
+  }
+  fed += batch.size();
+  checker.feed(std::move(batch), ts);
+  for (const WindowVerdict& v : checker.finish()) EXPECT_TRUE(v.ok());
+  EXPECT_EQ(fed, 512u);
+  EXPECT_GE(checker.windows_checked(), 4u);
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(checker.undecided(), 0u);
+  EXPECT_EQ(checker.ops_buffered(), 0u);
+}
+
+// The unsoundness an op-count sliding window has and a quiescent cut does
+// not: a write responds just before a candidate boundary while a
+// concurrent read straddles it and legitimately returns the OLD value.
+// Cutting there strands {read->old, read->new} with no in-window writer —
+// a false violation (the sub-history alone IS non-linearizable, as the
+// second check demonstrates). The quiescent-cut checker refuses that cut
+// because the straddling read was invoked before the write responded.
+TEST(WindowedChecker, CrossingOpsDoNotFalsePositive) {
+  const std::vector<Operation> ops = {
+      make_op(1, 1, "r", "write", "a", "done", 0, 1),
+      make_op(2, 1, "r", "write", "b", "done", 4, 9),
+      make_op(3, 2, "r", "read", "", "a", 8, 11),  // concurrent with write b
+      make_op(4, 3, "r", "read", "", "b", 12, 13),
+      make_op(5, 2, "r", "read", "", "b", 14, 15),
+      make_op(6, 3, "r", "read", "", "b", 16, 17),
+  };
+  // Full history: linearizable (read->a linearizes before write b).
+  ASSERT_EQ(check_linearizable(ops, window_register_factory()).verdict,
+            Verdict::kLinearizable);
+  // The stranded suffix alone is NOT (first read adopts "a", next reads
+  // "b" with no write in between) — the false positive a naive window
+  // starting after the write would report:
+  const std::vector<Operation> stranded(ops.begin() + 2, ops.end());
+  ASSERT_EQ(check_linearizable(stranded, window_register_factory()).verdict,
+            Verdict::kViolation);
+  // The windowed checker, fed the same history with min_window_ops low
+  // enough to tempt a cut right after the write, reports no violation.
+  WindowedChecker checker({.min_window_ops = 2});
+  checker.feed(ops, kFar);
+  for (const WindowVerdict& v : checker.poll()) EXPECT_TRUE(v.ok());
+  for (const WindowVerdict& v : checker.finish()) EXPECT_TRUE(v.ok());
+  EXPECT_EQ(checker.violations(), 0u);
+}
+
+// Windows only close once the watermark proves no future operation can
+// linearize inside them.
+TEST(WindowedChecker, WatermarkHoldsOpenWindows) {
+  WindowedChecker checker({.min_window_ops = 2});
+  std::vector<Operation> ops;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t t = static_cast<std::uint64_t>(2 * i);
+    ops.push_back(make_op(i + 1, 1, "r", "write", "v" + std::to_string(i),
+                          "done", t, t + 1));
+  }
+  // Watermark 0: some not-yet-fed operation may have been invoked before
+  // everything here — no cut is sound, nothing may be checked.
+  checker.feed(ops, 0);
+  EXPECT_TRUE(checker.poll().empty());
+  EXPECT_EQ(checker.ops_buffered(), 8u);
+  // Raising the watermark past the buffer closes it at the next poll; the
+  // fully sequential stream cuts at every second op (min_window_ops = 2).
+  checker.feed({}, 100);
+  const auto verdicts = checker.poll();
+  ASSERT_EQ(verdicts.size(), 4u);
+  for (const WindowVerdict& v : verdicts) EXPECT_TRUE(v.ok());
+  EXPECT_EQ(checker.ops_buffered(), 0u);
+}
+
+// HistoryRecorder::drain() contract: the watermark is a lower bound on
+// every future completion's invoke_ts — the clock if nothing is pending,
+// else the oldest pending invocation.
+TEST(HistoryRecorderDrain, WatermarkTracksOldestPending) {
+  runtime::ThisProcess::Binder bind(1);
+  HistoryRecorder rec;
+  const int t1 = rec.invoke("r", "read", "");
+  const int t2 = rec.invoke("r", "read", "");
+  rec.respond(t2, "a");
+
+  auto pending = rec.pending_snapshot();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].name, "read");
+
+  HistoryRecorder::Drain d1 = rec.drain();
+  ASSERT_EQ(d1.ops.size(), 1u);
+  EXPECT_EQ(d1.ops[0].result, "a");
+  // t1 is still pending and was invoked first: it bounds the watermark.
+  EXPECT_EQ(d1.watermark, d1.ops[0].invoke_ts - 1);
+
+  rec.respond(t1, "a");
+  HistoryRecorder::Drain d2 = rec.drain();
+  ASSERT_EQ(d2.ops.size(), 1u);
+  // Nothing pending now: the watermark advances to the clock, past every
+  // completed operation.
+  EXPECT_GT(d2.watermark, d2.ops[0].response_ts);
+  EXPECT_TRUE(rec.pending_snapshot().empty());
+  // Drained operations still count toward the running total.
+  EXPECT_EQ(rec.completed_count(), 2u);
+}
+
+}  // namespace
+}  // namespace swsig::lincheck
