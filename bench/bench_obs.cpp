@@ -1,0 +1,176 @@
+// Observability overhead: what the flight recorder and metrics registry
+// cost on the paths they instrument.
+//
+// Two layers of measurement:
+//   * microbenchmarks of the primitives — obs::record() with the recorder
+//     enabled vs runtime-disabled (one relaxed flag load, the floor a
+//     SWSIG_OBS_DISABLED build reaches exactly, minus that single load),
+//     sharded counter add, histogram add;
+//   * the end-to-end write path of the emulated SWMR substrate, recorder
+//     on vs off. Each write is a full ECHO/ACCEPT/ACK quorum ladder, so
+//     the recorder's handful of nanoseconds per event must vanish in the
+//     noise: the acceptance budget is write_overhead_ratio <= 1.05. The
+//     quorum path is scheduling-noise-dominated (single runs swing ~10%),
+//     so the ratio is computed per alternating-order trial — both sides
+//     of one trial share the machine conditions of the moment — and the
+//     reported overhead is the median trial ratio.
+//
+// One caveat, by construction: a single binary cannot contain both the
+// instrumented and the compiled-out code, so the "off" side of the write
+// comparison is the runtime toggle — record() returning after its relaxed
+// load. The microbenchmark section bounds how far that floor sits from a
+// true compiled-out build (sub-nanosecond), which keeps the single-binary
+// comparison honest. BENCH_obs.json is tracked by the warn-only perf-smoke
+// job like every other bench baseline.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/baseline.hpp"
+#include "bench/common.hpp"
+#include "msgpass/emulated_swmr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/process.hpp"
+#include "util/sharded_counter.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace swsig;
+
+constexpr std::uint64_t kRecordIters = 2'000'000;
+constexpr std::uint64_t kCounterIters = 8'000'000;
+constexpr int kWrites = 2000;
+constexpr int kTrials = 15;     // alternating-order write-path trials
+constexpr int kValuePool = 64;  // bounds value interning in the write loop
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// ns per call over a tight loop of `iters` calls.
+template <typename F>
+double ns_per_call(std::uint64_t iters, F&& fn) {
+  const double us = bench::time_us([&] {
+    for (std::uint64_t i = 0; i < iters; ++i) fn(i);
+  });
+  return us * 1000.0 / static_cast<double>(iters);
+}
+
+double bench_record(bool enabled) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  rec.clear();
+  rec.set_enabled(enabled);
+  const double ns = ns_per_call(kRecordIters, [](std::uint64_t i) {
+    obs::Event e;
+    e.ts_ns = i + 1;  // pre-stamped: measures the ring, not the clock
+    e.kind = obs::EventKind::kMsgSend;
+    e.tag = obs::MsgTag::kEcho;
+    e.pid = 1;
+    e.sn = i;
+    obs::record(e);
+  });
+  rec.set_enabled(true);
+  rec.clear();
+  return ns;
+}
+
+// Mean us per write over the full quorum ladder, recorder toggled by the
+// caller. One space per measurement so sn/interning state is identical on
+// both sides.
+double bench_write_path() {
+  msgpass::EmulatedSpace space(msgpass::EmulatedSpace::Options{4, 1, 0, true});
+  auto& reg = space.make_swmr<std::string>(1, "v0", "bench-reg");
+  std::vector<std::string> pool;
+  pool.reserve(kValuePool);
+  for (int i = 0; i < kValuePool; ++i) pool.push_back("v" + std::to_string(i));
+  runtime::ThisProcess::Binder bind(1);
+  for (int i = 0; i < kWrites / 10; ++i) reg.write(pool[0]);  // warmup
+  const double us = bench::time_us([&] {
+    for (int i = 0; i < kWrites; ++i)
+      reg.write(pool[static_cast<std::size_t>(i % kValuePool)]);
+  });
+  space.stop();
+  return us / kWrites;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "obs");
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+
+  bench::heading("Primitive costs (ns/call)");
+  const double record_on_ns = bench_record(true);
+  const double record_off_ns = bench_record(false);
+
+  util::ShardedCounter counter;
+  const double counter_ns =
+      ns_per_call(kCounterIters, [&](std::uint64_t) { counter.add(); });
+  obs::LogHistogram hist;
+  const double hist_ns =
+      ns_per_call(kCounterIters, [&](std::uint64_t i) {
+        hist.add(static_cast<double>((i % 1000) + 1));
+      });
+
+  util::Table t({"primitive", "ns/call"});
+  t.add_row({"record (enabled)", util::Table::num(record_on_ns, 2)});
+  t.add_row({"record (runtime off)", util::Table::num(record_off_ns, 2)});
+  t.add_row({"sharded counter add", util::Table::num(counter_ns, 2)});
+  t.add_row({"histogram add", util::Table::num(hist_ns, 2)});
+  t.print();
+  rep.metric("obs.record_ns", record_on_ns);
+  rep.metric("obs.record_off_ns", record_off_ns);
+  rep.metric("obs.counter_add_ns", counter_ns);
+  rep.metric("obs.hist_add_ns", hist_ns);
+
+  bench::heading("Emulated SWMR write path, recorder on vs off (us/write)");
+  (void)bench_write_path();  // process-wide warmup (threads, pages); discard
+  std::vector<double> on_us, off_us, ratios;
+  for (int t = 0; t < kTrials; ++t) {
+    const bool on_first = (t % 2 == 0);  // alternate order across trials
+    double trial_on = 0, trial_off = 0;
+    for (int side = 0; side < 2; ++side) {
+      const bool on = (side == 0) == on_first;
+      rec.set_enabled(on);
+      (on ? trial_on : trial_off) = bench_write_path();
+    }
+    on_us.push_back(trial_on);
+    off_us.push_back(trial_off);
+    ratios.push_back(trial_off > 0 ? trial_on / trial_off : 0.0);
+  }
+  rec.set_enabled(true);
+  const double write_on_us = median(on_us);
+  const double write_off_us = median(off_us);
+  const double ratio = median(ratios);
+
+  // How many flight-recorder events one quorum write generates end to end
+  // (send/recv plane + ladder phases), for reasoning about the budget.
+  const std::uint64_t e0 = rec.events_recorded();
+  (void)bench_write_path();
+  const double events_per_write =
+      static_cast<double>(rec.events_recorded() - e0) /
+      (kWrites + kWrites / 10);  // the helper's warmup writes record too
+
+  util::Table w({"recorder", "us/write"});
+  w.add_row({"on", util::Table::num(write_on_us, 2)});
+  w.add_row({"off", util::Table::num(write_off_us, 2)});
+  w.add_row({"overhead ratio", util::Table::num(ratio, 4)});
+  w.add_row({"events/write", util::Table::num(events_per_write, 1)});
+  w.print();
+  rep.metric("obs.write_us_on", write_on_us);
+  rep.metric("obs.write_us_off", write_off_us);
+  rep.metric("obs.write_overhead_ratio", ratio);
+  rep.metric("obs.events_per_write", events_per_write);
+
+  // Snapshot cost while rings are warm (forensics-path latency).
+  const double snapshot_us = bench::time_us([&] { (void)rec.snapshot(); });
+  rep.metric("obs.snapshot_us", snapshot_us);
+  std::cout << "\nsnapshot of warm rings: " << snapshot_us << " us\n";
+
+  rep.write();
+  return 0;
+}

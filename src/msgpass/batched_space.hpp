@@ -48,6 +48,7 @@
 
 #include <any>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -243,6 +244,10 @@ class BatchShard {
     ws.backs.clear();
     const std::uint64_t round = ws.inflight_round;
     lock.unlock();
+    detail::record_phase(obs::EventKind::kRoundLead,
+                         runtime::ThisProcess::id(), kBatchProto,
+                         runtime::ThisProcess::id(), round,
+                         static_cast<std::uint64_t>(take));
     Message m;
     m.reg = kBatchProto;
     m.type = "BWRITE";
@@ -343,6 +348,8 @@ class BatchShard {
         intern_batch(st, origin, std::any_cast<const Batch&>(m.payload));
     if (digest < 0) return;
     lock.unlock();
+    detail::record_phase(obs::EventKind::kPhaseEcho, self, kBatchProto,
+                         origin, m.sn, static_cast<std::uint64_t>(digest));
     vote("BECHO", origin, m.sn, digest);
   }
 
@@ -359,18 +366,24 @@ class BatchShard {
     RoundCand& c = candidate(st, {origin, m.sn}, digest);
     (is_echo ? c.echoes : c.accepts).insert(m.from);
     bool send_accept = false;
+    bool amplified = false;
     bool deliver = false;
     if (!c.sent_accept &&
         (static_cast<int>(c.echoes.size()) >= n_ - f_ ||
          static_cast<int>(c.accepts.size()) >= f_ + 1)) {
       c.sent_accept = true;
       send_accept = true;
+      amplified = static_cast<int>(c.echoes.size()) < n_ - f_;
     }
     if (static_cast<int>(c.accepts.size()) >= n_ - f_) {
       deliver = true;
       for (const auto& [reg_id, sn, vid] : digests_[static_cast<std::size_t>(digest)]) {
         const auto it = registry_.find(reg_id);
         if (it != registry_.end()) it->second->apply(self, sn, vid);
+        // Per-op deliver event under the op's own (reg, origin, sn) key so
+        // register-level ladder correlation spans both substrates.
+        detail::record_phase(obs::EventKind::kPhaseDeliver, self, reg_id,
+                             origin, sn, static_cast<std::uint64_t>(vid));
       }
       // Prune the per-round tallies (c is dangling beyond this point);
       // the `delivered` set keeps post-delivery votes from resurrecting
@@ -380,8 +393,16 @@ class BatchShard {
       st.cands.erase({origin, m.sn});
     }
     lock.unlock();
-    if (send_accept) vote("BACCEPT", origin, m.sn, digest);
+    if (send_accept) {
+      detail::record_phase(amplified ? obs::EventKind::kPhaseAmplify
+                                     : obs::EventKind::kPhaseAccept,
+                           self, kBatchProto, origin, m.sn,
+                           static_cast<std::uint64_t>(digest));
+      vote("BACCEPT", origin, m.sn, digest);
+    }
     if (deliver) {
+      detail::record_phase(obs::EventKind::kPhaseAck, self, kBatchProto,
+                           origin, m.sn);
       Message back;
       back.reg = kBatchProto;
       back.type = "BACK";
@@ -397,6 +418,9 @@ class BatchShard {
     if (!ws.in_flight || m.sn != ws.inflight_round) return;  // stale/forged
     ws.backs.insert(m.from);
     if (static_cast<int>(ws.backs.size()) < n_ - f_) return;
+    detail::record_phase(obs::EventKind::kRoundComplete, self, kBatchProto,
+                         self, ws.inflight_round,
+                         static_cast<std::uint64_t>(ws.backs.size()));
     ws.completed_ticket = ws.inflight_last_ticket;
     ws.in_flight = false;
     ws.cv.notify_all();
@@ -450,9 +474,15 @@ class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
   // Blocking write: completes once the op's round gathered n−f BACKs.
   // Same writer-mutex discipline as EmulatedSwmr::write.
   void write(T v) {
+    static obs::LogHistogram& round_hist =
+        obs::MetricsRegistry::global().histogram("msgpass.batched_write_us");
     this->require_owner("write");
     std::scoped_lock wl(this->writer_mu_);
+    const auto t0 = std::chrono::steady_clock::now();
     await_locked(submit_locked(std::move(v)));
+    round_hist.add(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
   }
 
   // Asynchronous write: enqueues the op and returns a ticket. Pending ops
@@ -524,6 +554,8 @@ class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
   // op to the shard. Caller holds writer_mu_.
   std::uint64_t submit_locked(T v) {
     const std::uint64_t sn = this->allocate_sn_locked(v);
+    detail::record_phase(obs::EventKind::kWriteStart, this->owner_,
+                         this->reg_id_, this->owner_, sn);
     std::any payload(std::move(v));
     return shard_->submit(this->owner_, this->reg_id_, sn, std::move(payload));
   }
@@ -605,16 +637,19 @@ class BatchedEmulatedSpace {
   // Crash / restart / resync across all shards — same contract and driver
   // preconditions as EmulatedSpace (crash only quiesced pids, ≤ f down).
   void crash(runtime::ProcessId pid) {
+    detail::record_phase(obs::EventKind::kCrash, pid, -1, pid, 0);
     for (auto& s : shards_) s->crash(pid);
     for (auto* reg : reg_ops()) reg->crash_process(pid);
   }
 
   void restart(runtime::ProcessId pid) {
+    detail::record_phase(obs::EventKind::kRestart, pid, -1, pid, 0);
     for (auto& s : shards_) s->restart(pid);
     if (options_.recover_on_restart) resync(pid);
   }
 
   void resync(runtime::ProcessId pid) {
+    detail::record_phase(obs::EventKind::kResync, pid, -1, pid, 0);
     runtime::ThisProcess::Binder bind(pid);
     for (auto* reg : reg_ops()) reg->resync_process(pid);
   }

@@ -42,6 +42,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -189,6 +190,8 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
 
   // Core of write(): caller holds writer_mu_.
   void write_locked(T v) {
+    static obs::LogHistogram& ack_hist =
+        obs::MetricsRegistry::global().histogram("msgpass.write_ack_wait_us");
     const std::uint64_t sn = this->allocate_sn_locked(v);
     {
       // Open the ACK wait slot before broadcasting so the ACK handler can
@@ -196,17 +199,32 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
       std::scoped_lock lock(this->mu_);
       acks_[sn];
     }
+    detail::record_phase(obs::EventKind::kWriteStart, this->owner_,
+                         this->reg_id_, this->owner_, sn);
+    const auto t0 = std::chrono::steady_clock::now();
     Message m;
     m.reg = this->reg_id_;
     m.type = "WRITE";
     m.sn = sn;
     m.payload = std::move(v);
     net_->broadcast(m);
+    detail::record_phase(obs::EventKind::kQuorumWait, this->owner_,
+                         this->reg_id_, this->owner_, sn,
+                         static_cast<std::uint64_t>(this->n_ - this->f_));
     std::unique_lock lock(this->mu_);
     this->cv_.wait(lock, [&] {
       return static_cast<int>(acks_[sn].size()) >= this->n_ - this->f_;
     });
     acks_.erase(sn);
+    lock.unlock();
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    ack_hist.add(std::chrono::duration<double, std::micro>(elapsed).count());
+    detail::record_phase(
+        obs::EventKind::kWriteDone, this->owner_, this->reg_id_, this->owner_,
+        sn,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
   }
 
   Candidate& candidate(LadderState& st, std::uint64_t sn, int value_id) {
@@ -223,6 +241,8 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     st.echoed.insert(m.sn);
     const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
     lock.unlock();
+    detail::record_phase(obs::EventKind::kPhaseEcho, self, this->reg_id_,
+                         this->owner_, m.sn);
     Message echo;
     echo.reg = this->reg_id_;
     echo.type = "ECHO";
@@ -258,12 +278,15 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
                 std::unique_lock<std::mutex>& lock) {
     const int vid = c.value_id;
     bool send_accept = false;
+    bool amplified = false;
     bool deliver = false;
     if (!c.sent_accept &&
         (static_cast<int>(c.echoes.size()) >= this->n_ - this->f_ ||
          static_cast<int>(c.accepts.size()) >= this->f_ + 1)) {
       c.sent_accept = true;
       send_accept = true;
+      // Which rung fired: the echo quorum (accept) or f+1 accepts (amplify).
+      amplified = static_cast<int>(c.echoes.size()) < this->n_ - this->f_;
     }
     if (static_cast<int>(c.accepts.size()) >= this->n_ - this->f_) {
       deliver = true;
@@ -272,6 +295,16 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
       st.cands.erase(sn);  // prune: c is dangling beyond this point
     }
     lock.unlock();
+    if (send_accept)
+      detail::record_phase(amplified ? obs::EventKind::kPhaseAmplify
+                                     : obs::EventKind::kPhaseAccept,
+                           self, this->reg_id_, this->owner_, sn);
+    if (deliver) {
+      detail::record_phase(obs::EventKind::kPhaseDeliver, self, this->reg_id_,
+                           this->owner_, sn, static_cast<std::uint64_t>(vid));
+      detail::record_phase(obs::EventKind::kPhaseAck, self, this->reg_id_,
+                           this->owner_, sn);
+    }
     if (send_accept) {
       Message acc;
       acc.reg = this->reg_id_;
@@ -351,6 +384,7 @@ class EmulatedSpace {
   // waits of live clients block (there is no retransmission).
 
   void crash(runtime::ProcessId pid) {
+    detail::record_phase(obs::EventKind::kCrash, pid, -1, pid, 0);
     std::vector<detail::HandlerBase*> regs = handlers();
     crashed_[static_cast<std::size_t>(pid)].store(true,
                                                   std::memory_order_release);
@@ -363,6 +397,7 @@ class EmulatedSpace {
   // state and serves stale STATE replies until organic traffic catches it
   // up — exactly what the regression test demonstrates.
   void restart(runtime::ProcessId pid) {
+    detail::record_phase(obs::EventKind::kRestart, pid, -1, pid, 0);
     crashed_[static_cast<std::size_t>(pid)].store(false,
                                                   std::memory_order_release);
     if (options_.recover_on_restart) resync(pid);
@@ -371,6 +406,7 @@ class EmulatedSpace {
   // Quorum resync of every register's state for pid, callable on its own —
   // the soak driver also uses it to heal drop-window staleness.
   void resync(runtime::ProcessId pid) {
+    detail::record_phase(obs::EventKind::kResync, pid, -1, pid, 0);
     runtime::ThisProcess::Binder bind(pid);
     for (auto* reg : handlers()) reg->resync_process(pid);
   }

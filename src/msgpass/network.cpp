@@ -2,8 +2,46 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace swsig::msgpass {
+
+Network::TypeCounters::TypeCounters() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  for (std::size_t t = 0; t < static_cast<std::size_t>(obs::MsgTag::kCount);
+       ++t) {
+    const std::string suffix = obs::tag_name(static_cast<obs::MsgTag>(t));
+    send[t] = &reg.counter("net.send." + suffix);
+    recv[t] = &reg.counter("net.recv." + suffix);
+    drop[t] = &reg.counter("net.drop." + suffix);
+  }
+}
+
+Network::TypeCounters& Network::TypeCounters::get() {
+  static TypeCounters counters;
+  return counters;
+}
+
+namespace {
+
+// One flight-recorder event for a message crossing the network plane.
+inline void record_msg(obs::EventKind kind, obs::MsgTag tag, int pid,
+                       int peer, const Message& m, std::uint64_t aux = 0) {
+  obs::Event e;
+  e.kind = kind;
+  e.tag = tag;
+  e.pid = static_cast<std::int16_t>(pid);
+  e.peer = static_cast<std::int16_t>(peer);
+  e.reg = m.reg;
+  e.sn = m.sn;
+  e.aux = aux;
+  obs::record(e);
+}
+
+}  // namespace
 
 Network::Network(Options options) : options_(options) {
   if (options_.n < 1) throw std::invalid_argument("network needs n >= 1");
@@ -33,10 +71,20 @@ void Network::send(Message m) {
 }
 
 void Network::broadcast(Message m) {
+  const runtime::ProcessId self = runtime::ThisProcess::id();
+  if (self < 1 || self > options_.n)
+    throw std::logic_error("broadcast requires a thread bound to p1..pn");
+  m.from = self;
+  // One consolidated send event for the n-way fan-out (peer = -1, aux = n):
+  // a broadcast is one protocol action, and per-destination events would
+  // multiply the hot-path event volume by n for no forensic value — the
+  // receive side already records what actually arrived where.
+  record_msg(obs::EventKind::kMsgSend, obs::tag_of(m.type), self, -1, m,
+             static_cast<std::uint64_t>(options_.n));
   for (int pid = 1; pid <= options_.n; ++pid) {
     Message copy = m;
     copy.to = pid;
-    send(std::move(copy));
+    deliver(std::move(copy), /*note_send=*/false);
   }
 }
 
@@ -52,15 +100,25 @@ void Network::set_fault_injector(FaultInjector* injector) {
   if (injector == nullptr) delay_cv_.notify_all();
 }
 
-void Network::deliver(Message m) {
+void Network::deliver(Message m, bool note_send) {
+  // The send event precedes the fault decision: a dropped message was
+  // still sent, and the drop event right after it is the forensic signal.
+  if (note_send)
+    record_msg(obs::EventKind::kMsgSend, obs::tag_of(m.type), m.from, m.to,
+               m);
   if (FaultInjector* fi = injector_.load(std::memory_order_acquire)) {
     const FaultDecision d = fi->on_deliver(m);
     if (d.drop) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      const obs::MsgTag tag = obs::tag_of(m.type);
+      TypeCounters::get().drop[static_cast<std::size_t>(tag)]->add();
+      record_msg(obs::EventKind::kMsgDrop, tag, m.from, m.to, m);
       return;
     }
     if (d.delay.count() > 0) {
       delayed_total_.fetch_add(1, std::memory_order_relaxed);
+      record_msg(obs::EventKind::kMsgDelay, obs::tag_of(m.type), m.from,
+                 m.to, m, static_cast<std::uint64_t>(d.delay.count()));
       {
         std::scoped_lock lock(delay_mu_);
         delayed_.push_back(
@@ -78,6 +136,8 @@ void Network::deliver(Message m) {
 }
 
 void Network::enqueue(Message m) {
+  const obs::MsgTag tag = obs::tag_of(m.type);
+  TypeCounters::get().send[static_cast<std::size_t>(tag)]->add();
   Inbox& inbox = inbox_for(m.to);
   {
     std::scoped_lock lock(inbox.mu);
@@ -141,15 +201,23 @@ std::optional<Message> Network::recv(std::stop_token st) {
         inbox.rng.uniform(0, inbox.queue.size() - 1));
   Message m = std::move(inbox.queue[index]);
   inbox.queue.erase(inbox.queue.begin() + static_cast<std::ptrdiff_t>(index));
+  const obs::MsgTag tag = obs::tag_of(m.type);
+  TypeCounters::get().recv[static_cast<std::size_t>(tag)]->add();
+  record_msg(obs::EventKind::kMsgRecv, tag, self, m.from, m);
   return m;
 }
 
 std::optional<Message> Network::try_recv() {
-  Inbox& inbox = inbox_for(runtime::ThisProcess::id());
-  std::scoped_lock lock(inbox.mu);
+  const runtime::ProcessId self = runtime::ThisProcess::id();
+  Inbox& inbox = inbox_for(self);
+  std::unique_lock lock(inbox.mu);
   if (inbox.queue.empty()) return std::nullopt;
   Message m = std::move(inbox.queue.front());
   inbox.queue.pop_front();
+  lock.unlock();
+  const obs::MsgTag tag = obs::tag_of(m.type);
+  TypeCounters::get().recv[static_cast<std::size_t>(tag)]->add();
+  record_msg(obs::EventKind::kMsgRecv, tag, self, m.from, m);
   return m;
 }
 

@@ -21,8 +21,10 @@
 
 #include "msgpass/faults.hpp"
 #include "msgpass/message.hpp"
+#include "obs/event.hpp"
 #include "runtime/process.hpp"
 #include "util/rng.hpp"
+#include "util/sharded_counter.hpp"
 
 namespace swsig::msgpass {
 
@@ -62,6 +64,18 @@ class Network {
   std::uint64_t messages_delayed() const;
   int n() const { return options_.n; }
 
+  // Per-message-type counters ("net.send.WRITE", "net.recv.ECHO",
+  // "net.drop.ACK", ...) in the global obs::MetricsRegistry, shared by
+  // every Network in the process so sharded substrates aggregate for free.
+  // Resolved once, here; the per-message cost is one sharded relaxed add.
+  struct TypeCounters {
+    util::ShardedCounter* send[static_cast<std::size_t>(obs::MsgTag::kCount)];
+    util::ShardedCounter* recv[static_cast<std::size_t>(obs::MsgTag::kCount)];
+    util::ShardedCounter* drop[static_cast<std::size_t>(obs::MsgTag::kCount)];
+    TypeCounters();
+    static TypeCounters& get();  // process-wide singleton
+  };
+
  private:
   struct Inbox {
     std::mutex mu;
@@ -77,7 +91,9 @@ class Network {
   };
 
   Inbox& inbox_for(runtime::ProcessId pid);
-  void deliver(Message m);
+  // note_send records the flight-recorder send event; broadcast() passes
+  // false after recording one consolidated event for the whole fan-out.
+  void deliver(Message m, bool note_send = true);
   void enqueue(Message m);  // final step: into the receiver's inbox
   void pump(std::stop_token st);
 

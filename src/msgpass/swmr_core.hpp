@@ -8,6 +8,7 @@
 // at once (the same reason detail::ServerPool owns the server loops).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -20,10 +21,26 @@
 #include <vector>
 
 #include "msgpass/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "registers/errors.hpp"
 #include "runtime/process.hpp"
 
 namespace swsig::msgpass::detail {
+
+// One flight-recorder event for a ladder/read phase of register `reg`,
+// keyed (reg, origin, sn) for trace correlation (obs/export.hpp).
+inline void record_phase(obs::EventKind kind, int pid, int reg, int origin,
+                         std::uint64_t sn, std::uint64_t aux = 0) {
+  obs::Event e;
+  e.kind = kind;
+  e.pid = static_cast<std::int16_t>(pid);
+  e.reg = reg;
+  e.origin = origin;
+  e.sn = sn;
+  e.aux = aux;
+  obs::record(e);
+}
 
 template <typename T>
 class SwmrCore {
@@ -153,6 +170,10 @@ class SwmrCore {
   // support = f+1 — enough to pin at least one correct voucher, i.e. a
   // certificate the Bracha ladder really delivered.
   std::pair<std::uint64_t, int> quorum_pair_via(Network& net, int support) {
+    static obs::LogHistogram& quorum_hist =
+        obs::MetricsRegistry::global().histogram("msgpass.read_quorum_us");
+    const int self = runtime::ThisProcess::id();
+    const auto t0 = std::chrono::steady_clock::now();
     for (;;) {
       std::uint64_t rid;
       {
@@ -160,11 +181,15 @@ class SwmrCore {
         rid = ++read_rid_;
         reads_[rid];  // create wait slot
       }
+      record_phase(obs::EventKind::kReadStart, self, reg_id_, owner_, rid,
+                   static_cast<std::uint64_t>(support));
       Message m;
       m.reg = reg_id_;
       m.type = "READ";
       m.sn = rid;
       net.broadcast(m);
+      record_phase(obs::EventKind::kQuorumWait, self, reg_id_, owner_, rid,
+                   static_cast<std::uint64_t>(n_ - f_));
       std::unique_lock lock(mu_);
       cv_.wait(lock, [&] {
         return static_cast<int>(reads_[rid].senders.size()) >= n_ - f_;
@@ -180,10 +205,20 @@ class SwmrCore {
         }
       }
       reads_.erase(rid);
-      if (best_vid >= 0) return {best_sn, best_vid};
+      if (best_vid >= 0) {
+        lock.unlock();
+        quorum_hist.add(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        record_phase(obs::EventKind::kReadDone, self, reg_id_, owner_, rid,
+                     best_sn);
+        return {best_sn, best_vid};
+      }
       // No sufficiently-supported pair among these replies (stores still
       // converging): retry with a fresh request.
       lock.unlock();
+      record_phase(obs::EventKind::kReadRetry, self, reg_id_, owner_, rid);
       std::this_thread::yield();
     }
   }

@@ -23,9 +23,14 @@
 
 #include "msgpass/network.hpp"
 #include "msgpass/server_pool.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/process.hpp"
 
 namespace swsig::msgpass {
+
+// Flight-recorder register id for witness-broadcast ladders (they have no
+// register; -1 is taken by the batch round protocol).
+inline constexpr int kWitnessObsReg = -2;
 
 // One instance serves the whole system: any process may broadcast any
 // number of sequenced messages; every correct process eventually delivers
@@ -123,6 +128,8 @@ class WitnessBroadcast {
 
     bool send_echo = false;
     bool send_ready = false;
+    bool ready_amplified = false;
+    bool delivered_now = false;
     if (m.type == "INIT") {
       // Echo only the FIRST value seen from this (sender, seq) — the
       // non-equivocation guard.
@@ -145,17 +152,42 @@ class WitnessBroadcast {
           static_cast<int>(tally.readies.size()) >= f + 1) {
         tally.sent_ready = true;
         send_ready = true;
+        ready_amplified = true;
       }
       if (static_cast<int>(tally.readies.size()) >= n - f &&
           !st.delivered.contains(key)) {
         st.delivered[key] = value;
+        delivered_now = true;
         cv_.notify_all();
       }
     }
     lock.unlock();
 
+    if (send_echo)
+      record_witness_phase(obs::EventKind::kPhaseEcho, self, key);
+    if (send_ready)
+      record_witness_phase(ready_amplified ? obs::EventKind::kPhaseAmplify
+                                           : obs::EventKind::kPhaseAccept,
+                           self, key);
+    if (delivered_now)
+      record_witness_phase(obs::EventKind::kPhaseDeliver, self, key, value);
     if (send_echo) relay("ECHO", key, value);
     if (send_ready) relay("READY", key, value);
+  }
+
+  // One ladder-correlated event under the witness sentinel register,
+  // keyed (kWitnessObsReg, origin, seq).
+  static void record_witness_phase(obs::EventKind kind, int self,
+                                   const std::pair<int, std::uint64_t>& key,
+                                   std::uint64_t aux = 0) {
+    obs::Event e;
+    e.kind = kind;
+    e.pid = static_cast<std::int16_t>(self);
+    e.reg = kWitnessObsReg;
+    e.origin = key.first;
+    e.sn = key.second;
+    e.aux = aux;
+    obs::record(e);
   }
 
   void relay(const std::string& type,

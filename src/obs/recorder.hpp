@@ -1,0 +1,247 @@
+// Lock-free per-thread ring-buffer flight recorder for protocol events.
+//
+// Design constraints (design note 13 in docs/ARCHITECTURE.md):
+//   * cheap enough to stay on in Release: the hot path is one relaxed flag
+//     load, one timestamp, five relaxed stores into a cache-resident slot
+//     this thread alone writes, and one relaxed head bump — no locks, no
+//     allocation (the ring is allocated once, on a thread's first event),
+//     no shared cache lines between recording threads;
+//   * crash-forensics-readable while writers are live: slots are plain
+//     64-bit relaxed atomics, so a concurrent snapshot() is race-free by
+//     the memory model; torn slots (overwritten mid-read after a ring
+//     wraparound) are detected by re-checking the ring head and discarded;
+//   * compile-time kill switch: building with -DSWSIG_OBS_DISABLED (CMake
+//     -DSWSIG_OBS=OFF) compiles obs::record() to nothing, for measuring
+//     the true zero-cost floor. The runtime toggle (set_enabled) costs one
+//     relaxed load on the hot path and is what bench_obs compares against.
+//
+// Ring discipline: each thread owns one ring of kRingCapacity slots; event
+// number h lands in slot h % capacity, and the head counter (number of
+// completed events) is bumped with release order after the slot is fully
+// written. A reader accepts event h only while head' - h < capacity for
+// the head' re-read AFTER copying the slot — anything older may have been
+// overwritten mid-copy and is dropped (bounded, counted, never blocking
+// the writer).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>  // __rdtsc: ~3x cheaper than the vdso clock
+#endif
+
+#include "obs/event.hpp"
+#include "util/sharded_counter.hpp"
+
+#if !defined(SWSIG_OBS_DISABLED)
+#define SWSIG_OBS_ENABLED 1
+#endif
+
+namespace swsig::obs {
+
+class FlightRecorder {
+ public:
+  // Events retained per thread. 4096 × 40 B = 160 KiB per recording
+  // thread — a soak run's n+clients threads stay well under 8 MiB.
+  static constexpr std::size_t kRingCapacity = 4096;
+  // Thread ordinals past this record nothing (counted, never UB). The soak
+  // harness peaks at tens of threads; 1024 is process-lifetime headroom.
+  static constexpr std::size_t kMaxThreads = 1024;
+
+  static FlightRecorder& instance() {
+    static FlightRecorder recorder;
+    return recorder;
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Nanoseconds since the recorder's epoch (first instance() call).
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // Hot path. Timestamp is stamped here iff the caller left ts_ns == 0.
+  // On x86-64 the stamp is a raw TSC tick count (bit 63 set as a marker),
+  // converted to epoch-relative nanoseconds lazily in snapshot() — the
+  // clock read is the single most expensive instruction on this path, and
+  // __rdtsc is ~3x cheaper than the vdso steady_clock. Assumes the
+  // invariant TSC of every post-2010 x86; worst case on exotic hardware
+  // is skewed forensic timestamps, never corrupt events.
+  void record(Event e) {
+    if (!enabled()) return;
+    const std::size_t ordinal = util::thread_ordinal();
+    if (ordinal >= kMaxThreads) {
+      overflow_threads_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Ring* ring = rings_[ordinal].load(std::memory_order_acquire);
+    if (!ring) ring = allocate(ordinal);
+    if (e.ts_ns == 0) {
+#if defined(__x86_64__)
+      e.ts_ns = kTickStamp | ((__rdtsc() - epoch_tsc_) & ~kTickStamp);
+#else
+      e.ts_ns = now_ns();
+#endif
+    }
+    std::uint64_t w[5];
+    pack(e, w);
+    const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+    Slot& slot = ring->slots[h % kRingCapacity];
+    for (int i = 0; i < 5; ++i)
+      slot.w[static_cast<std::size_t>(i)].store(w[i],
+                                                std::memory_order_relaxed);
+    // Release: a snapshot reader that observes head > h sees the slot's
+    // words (its relaxed loads are ordered after the acquire head load).
+    ring->head.store(h + 1, std::memory_order_release);
+  }
+
+  // Copies out the last `last_n_per_thread` events of every thread's ring,
+  // merged and sorted by timestamp. Safe concurrently with writers; slots
+  // overwritten mid-copy are dropped (see file comment). A full ring
+  // yields capacity - 1 events: the oldest slot is exactly one wraparound
+  // behind the writer, which could be mid-overwrite on it, so the torn
+  // check can never accept it and the window skips it up front.
+  std::vector<Event> snapshot(
+      std::size_t last_n_per_thread = kRingCapacity) const {
+    std::vector<Event> out;
+    // Tick -> ns conversion factor, calibrated against the elapsed steady
+    // clock once per snapshot (forensics path; precision drift is noise).
+    double ns_per_tick = 0.0;
+#if defined(__x86_64__)
+    const std::uint64_t ticks_now = (__rdtsc() - epoch_tsc_) & ~kTickStamp;
+    if (ticks_now > 0)
+      ns_per_tick =
+          static_cast<double>(now_ns()) / static_cast<double>(ticks_now);
+#endif
+    for (std::size_t t = 0; t < kMaxThreads; ++t) {
+      const Ring* ring = rings_[t].load(std::memory_order_acquire);
+      if (!ring) continue;
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      const std::uint64_t reachable =
+          head < kRingCapacity ? head : kRingCapacity - 1;
+      const std::uint64_t window =
+          std::min<std::uint64_t>(reachable, last_n_per_thread);
+      for (std::uint64_t h = head - window; h < head; ++h) {
+        std::uint64_t w[5];
+        const Slot& slot = ring->slots[h % kRingCapacity];
+        for (int i = 0; i < 5; ++i)
+          w[i] = slot.w[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+        // Torn-slot check: if the writer has meanwhile advanced to (or
+        // past) event h + capacity, the slot we just copied may mix two
+        // events — discard it.
+        if (ring->head.load(std::memory_order_acquire) - h >= kRingCapacity)
+          continue;
+        Event e = unpack(w);
+        if (e.ts_ns & kTickStamp)
+          e.ts_ns = static_cast<std::uint64_t>(
+              static_cast<double>(e.ts_ns & ~kTickStamp) * ns_per_tick);
+        out.push_back(e);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
+    return out;
+  }
+
+  // Events recorded process-wide (monotone; includes overwritten ones).
+  std::uint64_t events_recorded() const {
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < kMaxThreads; ++t) {
+      const Ring* ring = rings_[t].load(std::memory_order_acquire);
+      if (ring) total += ring->head.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::uint64_t overflow_thread_events() const {
+    return overflow_threads_.load(std::memory_order_relaxed);
+  }
+
+  // Test hook: rewinds every ring. Callers must quiesce recording threads
+  // first (a concurrent record() would race the rewind benignly but leave
+  // a mixed trace).
+  void clear() {
+    for (std::size_t t = 0; t < kMaxThreads; ++t) {
+      Ring* ring = rings_[t].load(std::memory_order_acquire);
+      if (ring) ring->head.store(0, std::memory_order_release);
+    }
+    overflow_threads_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::array<std::atomic<std::uint64_t>, 5> w{};
+  };
+  struct Ring {
+    std::atomic<std::uint64_t> head{0};
+    std::array<Slot, kRingCapacity> slots{};
+  };
+
+  // Bit 63 of ts_ns marks a raw-tick stamp awaiting conversion; caller
+  // pre-stamped nanosecond values (tests, benchmarks) never set it.
+  static constexpr std::uint64_t kTickStamp = 1ull << 63;
+
+  FlightRecorder() : epoch_(std::chrono::steady_clock::now()) {
+#if defined(__x86_64__)
+    epoch_tsc_ = __rdtsc();
+#endif
+  }
+  ~FlightRecorder() {
+    for (auto& r : rings_) delete r.load(std::memory_order_acquire);
+  }
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  Ring* allocate(std::size_t ordinal) {
+    auto* fresh = new Ring();
+    Ring* expected = nullptr;
+    if (!rings_[ordinal].compare_exchange_strong(expected, fresh,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+      delete fresh;  // only possible if ordinals were ever shared; they are
+      return expected;  // per-thread, so in practice this branch is dead
+    }
+    return fresh;
+  }
+
+  const std::chrono::steady_clock::time_point epoch_;
+#if defined(__x86_64__)
+  std::uint64_t epoch_tsc_ = 0;
+#endif
+  std::atomic<bool> enabled_{true};
+  std::array<std::atomic<Ring*>, kMaxThreads> rings_{};
+  std::atomic<std::uint64_t> overflow_threads_{0};
+};
+
+// The instrumentation entry point. With SWSIG_OBS_DISABLED this inlines to
+// nothing — call sites need no #ifdefs.
+inline void record(const Event& e) {
+#if defined(SWSIG_OBS_ENABLED)
+  FlightRecorder::instance().record(e);
+#else
+  (void)e;
+#endif
+}
+
+inline bool recording() {
+#if defined(SWSIG_OBS_ENABLED)
+  return FlightRecorder::instance().enabled();
+#else
+  return false;
+#endif
+}
+
+}  // namespace swsig::obs

@@ -10,7 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/sharded_counter.hpp"
 
 namespace swsig::registers {
@@ -40,6 +43,24 @@ class Metrics {
   };
 
   Snapshot snapshot() const { return {reads(), writes()}; }
+
+  // Publishes this instance into `registry` as "<prefix>.reads" /
+  // "<prefix>.writes" gauges. The counters stay here (the free-mode step
+  // accounting aggregates the raw shards on its hot path); the registry
+  // only reads them at snapshot time. The returned handles deregister on
+  // destruction and must not outlive this Metrics.
+  struct Published {
+    obs::MetricsRegistry::GaugeHandle reads;
+    obs::MetricsRegistry::GaugeHandle writes;
+  };
+  [[nodiscard]] Published publish(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+    Published out;
+    out.reads = registry.gauge(prefix + ".reads", [this] { return reads(); });
+    out.writes =
+        registry.gauge(prefix + ".writes", [this] { return writes(); });
+    return out;
+  }
 
  private:
   util::ShardedCounter reads_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/baseline.hpp"
+#include "obs/metrics.hpp"
 
 namespace swsig::soak {
 
@@ -47,6 +48,13 @@ struct SoakMetrics {
   double read_p50_us = 0, read_p99_us = 0;
   double write_p50_us = 0, write_p99_us = 0;
 
+  // Per-message-type traffic deltas over the run ("net.send.WRITE", ...)
+  // and per-phase latency histograms ("msgpass.read_quorum_us", ...), both
+  // sourced from the obs::MetricsRegistry by the runner. Zero-count
+  // entries are pruned at capture time.
+  std::vector<obs::CounterSnapshot> msg_counters;
+  std::vector<obs::HistogramSnapshot> phase_hists;
+
   std::uint64_t total_ops() const { return reads + writes; }
 
   double ops_per_s() const {
@@ -80,6 +88,15 @@ struct SoakMetrics {
     rep.metric(p + "slo.window_violations",
                static_cast<double>(window_violations));
     rep.metric(p + "slo.op_errors", static_cast<double>(op_errors));
+    // Registry-sourced telemetry: per-message-type traffic and per-phase
+    // latency quantiles. bench_compare only diffs keys present on both
+    // sides, so these extend the baseline without invalidating it.
+    for (const obs::CounterSnapshot& c : msg_counters)
+      rep.metric(p + c.name, static_cast<double>(c.value));
+    for (const obs::HistogramSnapshot& h : phase_hists) {
+      rep.metric(p + h.name + ".p50", h.p50);
+      rep.metric(p + h.name + ".p99", h.p99);
+    }
   }
 
   void print(std::ostream& os) const {
@@ -96,8 +113,17 @@ struct SoakMetrics {
        << max_stall_ms << " ms\n"
        << "  faults: " << messages_dropped << " dropped, "
        << messages_delayed << " delayed, " << crashes << " crashes, "
-       << resyncs << " resyncs\n"
-       << "  SLO: " << (slo_ok() ? "OK" : "VIOLATED") << "\n";
+       << resyncs << " resyncs\n";
+    if (!msg_counters.empty()) {
+      os << "  traffic:";
+      for (const obs::CounterSnapshot& c : msg_counters)
+        os << " " << c.name << "=" << c.value;
+      os << "\n";
+    }
+    for (const obs::HistogramSnapshot& h : phase_hists)
+      os << "  phase " << h.name << ": n=" << h.count << " p50=" << h.p50
+         << "us p99=" << h.p99 << "us p999=" << h.p999 << "us\n";
+    os << "  SLO: " << (slo_ok() ? "OK" : "VIOLATED") << "\n";
   }
 };
 

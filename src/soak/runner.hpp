@@ -44,6 +44,9 @@
 #include "lincheck/window.hpp"
 #include "msgpass/batched_space.hpp"
 #include "msgpass/emulated_swmr.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/process.hpp"
 #include "soak/fault_schedule.hpp"
 #include "soak/liveness.hpp"
@@ -289,9 +292,20 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
   std::atomic<int> live_workers{0};
   std::atomic<std::uint64_t> reads{0}, writes{0}, errors{0};
   std::atomic<bool> byz_on{false};
-  std::mutex sample_mu;
-  std::vector<double> read_us, write_us;
   std::mutex fail_mu;
+
+  // Run-scoped registry telemetry: latency histograms rewound at run start
+  // (one process hosts several runs — soak_test, the driver's substrate
+  // sweep), traffic counters handled as start-snapshot deltas since
+  // counters are shared process-wide and never reset.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.reset_histograms("soak.");
+  registry.reset_histograms("msgpass.");
+  obs::LogHistogram& read_hist = registry.histogram("soak.read_us");
+  obs::LogHistogram& write_hist = registry.histogram("soak.write_us");
+  std::map<std::string, std::uint64_t> net_baseline;
+  for (const obs::CounterSnapshot& c : registry.counters("net."))
+    net_baseline[c.name] = c.value;
 
   const auto record_failure = [&](std::string what) {
     std::scoped_lock lock(fail_mu);
@@ -312,9 +326,7 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
           "c" + std::to_string(c) + "@p" + std::to_string(pid);
       util::Rng rng(cfg.seed * 1013u + static_cast<std::uint64_t>(c));
       liveness.attach(name);
-      std::vector<double> my_read_us, my_write_us;
       std::uint64_t counter = 0;  // write-value counter
-      std::uint64_t ops = 0;
       detail::ParkGate& gate = gates[pid];
       const std::vector<int>& mine = owned[pid];
       while (!st.stop_requested() && !stop.load(std::memory_order_relaxed)) {
@@ -361,11 +373,10 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
           const double us =
               std::chrono::duration<double, std::micro>(Clock::now() - t0)
                   .count();
-          // Every 8th op sampled, locally capped: percentiles need a
-          // representative sample, not every point of an hours-long run.
-          std::vector<double>& sample = do_write ? my_write_us : my_read_us;
-          if (++ops % 8 == 0 && sample.size() < 100000)
-            sample.push_back(us);
+          // Every op lands in a fixed-size log-bucketed histogram — no
+          // sampling or memory cap needed, unlike the raw vectors this
+          // replaced (one wait-free fetch_add per op).
+          (do_write ? write_hist : read_hist).add(us);
           liveness.success(name);
         } catch (const std::exception& e) {
           errors.fetch_add(1, std::memory_order_relaxed);
@@ -375,18 +386,6 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
         }
       }
       liveness.detach(name);
-      std::scoped_lock lock(sample_mu);
-      // Cap merged samples; percentiles don't need millions of points.
-      const auto merge = [](std::vector<double>& into,
-                            std::vector<double>& from) {
-        const std::size_t room =
-            into.size() < 200000 ? 200000 - into.size() : 0;
-        const std::size_t take = std::min(room, from.size());
-        into.insert(into.end(), from.begin(),
-                    from.begin() + static_cast<std::ptrdiff_t>(take));
-      };
-      merge(read_us, my_read_us);
-      merge(write_us, my_write_us);
       live_workers.fetch_sub(1, std::memory_order_release);
     });
   }
@@ -542,6 +541,13 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
       std::cerr << "  p" << op.pid << " " << op.name << "(" << op.object
                 << (op.arg.empty() ? "" : ", " + op.arg) << ") invoked at ts "
                 << op.invoke_ts << ", never responded\n";
+    // Flight-recorder forensics: which ladder stalled, and on which rung.
+    const std::vector<obs::Event> events =
+        obs::FlightRecorder::instance().snapshot();
+    obs::wedge_report(std::cerr, events);
+    const std::string trace_path = "soak_trace_" + cfg.substrate + ".txt";
+    if (obs::write_trace_file(trace_path, events))
+      std::cerr << "trace written to " << trace_path << "\n";
     std::cerr << "REPRO: " << cfg.repro_line() << std::endl;
     std::_Exit(3);
   }
@@ -571,10 +577,19 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
   m.messages_delayed = delayed;
   m.crashes = crashes;
   m.resyncs = resyncs;
-  m.read_p50_us = percentile_us(read_us, 50);
-  m.read_p99_us = percentile_us(read_us, 99);
-  m.write_p50_us = percentile_us(write_us, 50);
-  m.write_p99_us = percentile_us(write_us, 99);
+  m.read_p50_us = read_hist.p50();
+  m.read_p99_us = read_hist.p99();
+  m.write_p50_us = write_hist.p50();
+  m.write_p99_us = write_hist.p99();
+  // Per-message-type traffic over this run (delta vs the start snapshot;
+  // zero-traffic types pruned) and the protocol-phase latency histograms.
+  for (const obs::CounterSnapshot& c : registry.counters("net.")) {
+    const auto it = net_baseline.find(c.name);
+    const std::uint64_t before = it == net_baseline.end() ? 0 : it->second;
+    if (c.value > before) m.msg_counters.push_back({c.name, c.value - before});
+  }
+  for (const obs::HistogramSnapshot& h : registry.histograms("msgpass."))
+    if (h.count > 0) m.phase_hists.push_back(h);
   if (live.violations > 0)
     record_failure("liveness: " + std::to_string(live.violations) +
                    " stall violation(s), max stall " +

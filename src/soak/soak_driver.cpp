@@ -17,6 +17,8 @@
 #include "bench/baseline.hpp"
 #include "msgpass/batched_space.hpp"
 #include "msgpass/emulated_swmr.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "soak/fault_schedule.hpp"
 #include "soak/report.hpp"
 #include "soak/runner.hpp"
@@ -69,6 +71,14 @@ SoakOutcome run_one(const SoakConfig& cfg, swsig::bench::Reporter& rep) {
   if (!out.ok()) {
     std::cout << "SOAK FAILURE (" << cfg.substrate << "):\n";
     for (const auto& f : out.failures) std::cout << "  " << f << "\n";
+    // SLO breach forensics: ladder correlation + last events to stderr,
+    // full machine trace to a file CI uploads as a failure artifact.
+    const std::vector<swsig::obs::Event> events =
+        swsig::obs::FlightRecorder::instance().snapshot();
+    swsig::obs::wedge_report(std::cerr, events);
+    const std::string trace_path = "soak_trace_" + cfg.substrate + ".txt";
+    if (swsig::obs::write_trace_file(trace_path, events))
+      std::cerr << "trace written to " << trace_path << "\n";
     std::cout << "REPRO: " << cfg.repro_line() << std::endl;
   }
   return out;

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Render a swsig flight-recorder trace as per-ladder timelines.
+
+Usage:
+    tools/trace_view.py TRACE.txt [--reg R] [--origin P] [--last N]
+    tools/trace_view.py --self-test
+
+The input is the machine trace written by obs::write_trace_file (the soak
+harness dumps one next to its REPRO line on a wedge or SLO breach):
+
+    # swsig-trace v1
+    EV <ts_us> <pid> <kind> <tag> <reg> <origin> <sn> <aux> <peer>
+
+Events are grouped by ladder key (reg, origin, sn) and printed as one
+timeline per ladder — which process reached which Bracha rung when — with
+stalled ladders (opened, never delivered) flagged and sorted first, so the
+wedged write is the first thing on screen. Non-ladder events (network
+plane, crash/restart/resync) are summarized per kind.
+
+--self-test runs the built-in unit checks (wired into CTest as
+trace_view_selftest, mirroring bench_compare_selftest).
+"""
+
+import argparse
+import sys
+import tempfile
+
+# Ladder phase kinds, in rung order (obs/event.hpp). write_start/round_lead
+# open a ladder; write_done/round_complete close it.
+PHASE_ORDER = [
+    "write_start",
+    "round_lead",
+    "echo",
+    "accept",
+    "amplify",
+    "deliver",
+    "ack",
+    "write_done",
+    "round_complete",
+]
+OPEN_KINDS = ("write_start", "round_lead")
+CLOSE_KINDS = ("write_done", "round_complete")
+PHASE_KINDS = set(PHASE_ORDER)
+
+
+def parse_trace(lines):
+    """Returns (events, warnings). Each event is a dict; malformed lines
+    are skipped with a warning rather than aborting — a trace dumped from
+    a wedged process may legitimately end mid-line."""
+    events, warnings = [], []
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] != "EV":
+            continue  # ladder-summary section of write_trace_file
+        if len(parts) != 10:
+            warnings.append(f"line {lineno}: expected 10 fields, got {len(parts)}")
+            continue
+        try:
+            events.append(
+                {
+                    "ts_us": float(parts[1]),
+                    "pid": int(parts[2]),
+                    "kind": parts[3],
+                    "tag": parts[4],
+                    "reg": int(parts[5]),
+                    "origin": int(parts[6]),
+                    "sn": int(parts[7]),
+                    "aux": int(parts[8]),
+                    "peer": int(parts[9]),
+                }
+            )
+        except ValueError as e:
+            warnings.append(f"line {lineno}: {e}")
+    return events, warnings
+
+
+def ladders_of(events):
+    """Groups phase events by (reg, origin, sn) ladder key, preserving
+    event order within each ladder."""
+    ladders = {}
+    for e in events:
+        if e["kind"] not in PHASE_KINDS:
+            continue
+        key = (e["reg"], e["origin"], e["sn"])
+        ladders.setdefault(key, []).append(e)
+    return ladders
+
+
+def last_phase(ladder_events):
+    """Highest rung any process completed, by PHASE_ORDER."""
+    best = -1
+    for e in ladder_events:
+        rank = PHASE_ORDER.index(e["kind"])
+        best = max(best, rank)
+    return PHASE_ORDER[best] if best >= 0 else "none"
+
+
+def is_stalled(ladder_events):
+    kinds = {e["kind"] for e in ladder_events}
+    opened = bool(kinds & set(OPEN_KINDS)) or "echo" in kinds
+    closed = bool(kinds & set(CLOSE_KINDS))
+    delivered = "deliver" in kinds
+    return opened and not closed and not delivered
+
+
+def render_ladder(key, ladder_events, out):
+    reg, origin, sn = key
+    stalled = is_stalled(ladder_events)
+    t0 = ladder_events[0]["ts_us"]
+    span = ladder_events[-1]["ts_us"] - t0
+    head = f"ladder reg={reg} origin=p{origin} sn={sn}"
+    status = "STALLED" if stalled else "ok"
+    print(f"{head}: last phase {last_phase(ladder_events)} "
+          f"[{status}] ({len(ladder_events)} events, {span:.1f} us)", file=out)
+    for e in sorted(ladder_events, key=lambda e: e["ts_us"]):
+        rel = e["ts_us"] - t0
+        extra = f" aux={e['aux']}" if e["aux"] else ""
+        print(f"  +{rel:10.1f}us p{e['pid']:<3} {e['kind']}{extra}", file=out)
+
+
+def summarize_other(events, out):
+    counts = {}
+    for e in events:
+        if e["kind"] in PHASE_KINDS:
+            continue
+        label = e["kind"]
+        if e["tag"] != "OTHER":
+            label += f".{e['tag']}"
+        counts[label] = counts.get(label, 0) + 1
+    if counts:
+        print("non-ladder events:", file=out)
+        for label in sorted(counts):
+            print(f"  {label}: {counts[label]}", file=out)
+
+
+def render(events, out, reg=None, origin=None, last=None):
+    ladders = ladders_of(events)
+    keys = list(ladders)
+    if reg is not None:
+        keys = [k for k in keys if k[0] == reg]
+    if origin is not None:
+        keys = [k for k in keys if k[1] == origin]
+    # Stalled ladders first (oldest first), then the rest by first event.
+    keys.sort(key=lambda k: (not is_stalled(ladders[k]),
+                             ladders[k][0]["ts_us"]))
+    if last is not None:
+        keys = keys[:last]
+    stalled = sum(1 for k in keys if is_stalled(ladders[k]))
+    print(f"{len(events)} events, {len(ladders)} ladders "
+          f"({stalled} stalled shown of {len(keys)} rendered)", file=out)
+    for k in keys:
+        render_ladder(k, ladders[k], out)
+    summarize_other(events, out)
+    return stalled
+
+
+# ---------------------------------------------------------------- self-test
+
+SAMPLE = """\
+# swsig-trace v1
+EV 10.0 1 write_start OTHER 7 1 42 0 0
+EV 11.0 1 send WRITE 7 0 42 0 2
+EV 12.0 2 echo OTHER 7 1 42 0 0
+EV 13.0 3 echo OTHER 7 1 42 0 0
+EV 14.0 2 accept OTHER 7 1 42 0 0
+EV 20.0 1 write_start OTHER 8 1 43 0 0
+EV 21.0 2 echo OTHER 8 1 43 0 0
+EV 22.0 2 accept OTHER 8 1 43 0 0
+EV 23.0 2 deliver OTHER 8 1 43 5 0
+EV 24.0 2 ack OTHER 8 1 43 0 0
+EV 25.0 1 write_done OTHER 8 1 43 900 0
+EV 30.0 4 crash OTHER -1 4 0 0 0
+this line is garbage
+EV bad 1 echo OTHER 1 1 1 0 0
+"""
+
+
+def run_self_test():
+    import io
+
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+        print(f"self-test: {'ok  ' if cond else 'FAIL'} {name}")
+
+    events, warnings = parse_trace(SAMPLE.splitlines())
+    check("parses well-formed events", len(events) == 12)
+    check("warns on malformed lines", len(warnings) == 1)  # garbage line
+    # ("EV bad ..." has 10 fields but a bad float -> also a warning)
+    check("warns on bad numeric field",
+          any("line 15" in w for w in warnings) or len(warnings) >= 1)
+
+    ladders = ladders_of(events)
+    check("two ladders found", len(ladders) == 2)
+    stalled_key = (7, 1, 42)
+    done_key = (8, 1, 43)
+    check("stalled ladder detected", is_stalled(ladders[stalled_key]))
+    check("completed ladder not stalled", not is_stalled(ladders[done_key]))
+    check("stalled last phase is accept",
+          last_phase(ladders[stalled_key]) == "accept")
+    check("completed last phase is write_done",
+          last_phase(ladders[done_key]) == "write_done")
+
+    out = io.StringIO()
+    stalled = render(events, out)
+    text = out.getvalue()
+    check("render names the stalled key", "reg=7 origin=p1 sn=42" in text)
+    check("render flags STALLED", "STALLED" in text)
+    check("render counts one stalled ladder", stalled == 1)
+    check("stalled ladder renders before completed one",
+          text.index("sn=42") < text.index("sn=43"))
+    check("non-ladder summary includes send.WRITE", "send.WRITE: 1" in text)
+    check("non-ladder summary includes crash", "crash: 1" in text)
+
+    # Filters.
+    out = io.StringIO()
+    render(events, out, reg=8)
+    check("--reg filter keeps only reg 8",
+          "sn=43" in out.getvalue() and "sn=42" not in out.getvalue())
+
+    # Round-trip through a real file, as the CLI path does.
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as f:
+        f.write(SAMPLE)
+        path = f.name
+    with open(path) as f:
+        ev2, _ = parse_trace(f)
+    check("file round-trip parses identically", len(ev2) == len(events))
+
+    if failures:
+        print(f"self-test: {len(failures)} check(s) failed")
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(run_self_test())
+    ap = argparse.ArgumentParser(
+        description="Render a swsig flight-recorder trace as ladder timelines")
+    ap.add_argument("trace", help="trace file from obs::write_trace_file")
+    ap.add_argument("--reg", type=int, help="only this register id")
+    ap.add_argument("--origin", type=int, help="only ladders led by this pid")
+    ap.add_argument("--last", type=int, default=32,
+                    help="render at most N ladders (default 32)")
+    args = ap.parse_args()
+    with open(args.trace) as f:
+        events, warnings = parse_trace(f)
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
+    if not events:
+        raise SystemExit(f"{args.trace}: no events")
+    render(events, sys.stdout, reg=args.reg, origin=args.origin,
+           last=args.last)
+
+
+if __name__ == "__main__":
+    main()
