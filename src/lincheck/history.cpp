@@ -39,6 +39,18 @@ void HistoryRecorder::respond(int token, std::string result) {
   completed_.push_back(std::move(op));
 }
 
+void HistoryRecorder::abort(int token) {
+  std::scoped_lock lock(mu_);
+  if (pending_.erase(token) == 0)
+    pending_.at(token);  // throws std::out_of_range, same as respond()
+  ++aborted_;
+}
+
+std::size_t HistoryRecorder::aborted_count() const {
+  std::scoped_lock lock(mu_);
+  return aborted_;
+}
+
 std::vector<Operation> HistoryRecorder::operations() const {
   std::scoped_lock lock(mu_);
   return completed_;

@@ -51,6 +51,18 @@ class HistoryRecorder {
   // Marks the response; the operation becomes part of the history.
   void respond(int token, std::string result);
 
+  // Removes a pending invocation from the history entirely — for writes
+  // whose outcome is a DETERMINATE abort (the owner's recovery fence proved
+  // the value can never be delivered or observed). Definition 2's
+  // completion construction permits removing pending invocations, and abort
+  // finality is exactly the property that makes the removal sound here: no
+  // read can ever return the aborted value, so no window can need the op.
+  // Throws on a bad or already-responded token, like respond().
+  void abort(int token);
+
+  // Aborted invocations removed so far (telemetry).
+  std::size_t aborted_count() const;
+
   // Convenience: records fn() as one complete operation, stringifying its
   // result with `render`.
   template <typename F, typename R>
@@ -112,9 +124,10 @@ class HistoryRecorder {
   mutable std::mutex mu_;
   std::uint64_t clock_ = 1;           // guarded by mu_ (see respond())
   int next_token_ = 0;
-  std::map<int, Operation> pending_;  // by token; erased on respond
+  std::map<int, Operation> pending_;  // by token; erased on respond/abort
   std::vector<Operation> completed_;
   std::uint64_t drained_ = 0;         // completed ops already drained
+  std::uint64_t aborted_ = 0;         // pending invocations removed
 };
 
 }  // namespace swsig::lincheck

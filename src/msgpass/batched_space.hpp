@@ -110,10 +110,12 @@ class BatchShard {
   // register; they use this sentinel in Message::reg.
   static constexpr int kBatchProto = -1;
 
-  BatchShard(int n, int f, std::uint64_t reorder_seed, int batch_max)
+  BatchShard(int n, int f, std::uint64_t reorder_seed, int batch_max,
+             RetryPolicy retry = {})
       : n_(n),
         f_(f),
         batch_max_(batch_max),
+        retry_(retry),
         net_(Network::Options{n, reorder_seed}),
         state_(static_cast<std::size_t>(n) + 1),
         crashed_(static_cast<std::size_t>(n) + 1),
@@ -137,13 +139,51 @@ class BatchShard {
   void crash(runtime::ProcessId pid) {
     crashed_[static_cast<std::size_t>(pid)].store(true,
                                                   std::memory_order_release);
-    std::scoped_lock lock(mu_);
-    state_[static_cast<std::size_t>(pid)].cands.clear();
+    net_.set_squelched(pid, true);
+    {
+      std::scoped_lock lock(mu_);
+      state_[static_cast<std::size_t>(pid)].cands.clear();
+    }
+    // Suspend pid's client role too: a round it was leading loses its
+    // driver, so waiting writer threads park (no retries) until restart.
+    WriterState& ws = writers_[static_cast<std::size_t>(pid)];
+    std::scoped_lock wlock(ws.mu);
+    if (ws.in_flight) ws.interrupted = true;
+    ws.cv.notify_all();
   }
 
   void restart(runtime::ProcessId pid) {
     crashed_[static_cast<std::size_t>(pid)].store(false,
                                                   std::memory_order_release);
+    net_.set_squelched(pid, false);
+  }
+
+  // Client-role recovery after restart (thread bound as pid): re-lead the
+  // round that was in flight when the owner crashed. Unlike the per-write
+  // substrate there is no abort fence here — recovery is complete-only,
+  // which is always safe: re-broadcasting a BWRITE is idempotent (echo-once
+  // per (origin, round) + cross-round sn dedup make duplicates inert, and
+  // delivered servers just re-BACK), so the round either already delivered
+  // or will now.
+  void recover(runtime::ProcessId pid) {
+    WriterState& ws = writers_[static_cast<std::size_t>(pid)];
+    std::unique_lock lock(ws.mu);
+    ws.interrupted = false;
+    ws.cv.notify_all();
+    if (!retry_.enabled) return;
+    if (ws.in_flight) {
+      Batch copy = ws.inflight_batch;
+      const std::uint64_t round = ws.inflight_round;
+      lock.unlock();
+      Message m;
+      m.reg = kBatchProto;
+      m.type = "BWRITE";
+      m.sn = round;
+      m.payload = std::move(copy);
+      net_.broadcast(m);
+    } else {
+      maybe_lead(ws, lock);
+    }
   }
 
   void add_register(int reg_id, detail::BatchRegOps* ops) {
@@ -169,11 +209,78 @@ class BatchShard {
   }
 
   // Blocks until `ticket` (from submit for the same owner) has completed,
-  // i.e. its round gathered n−f BACKs.
+  // i.e. its round gathered n−f BACKs. Retry layer (design note 14): each
+  // lapsed backoff slice re-broadcasts the in-flight round's BWRITE — a
+  // pure refresh of lost messages, idempotent at every server (echo-once
+  // per (origin, round) re-issues the original digest vote, delivered
+  // servers re-BACK) — or, if no round is in flight (the chain stalled
+  // between rounds), leads the next one. The calling thread must be bound
+  // as the owner.
   void await(runtime::ProcessId owner, std::uint64_t ticket) {
     WriterState& ws = writers_[static_cast<std::size_t>(owner)];
     std::unique_lock lock(ws.mu);
-    ws.cv.wait(lock, [&] { return ws.completed_ticket >= ticket; });
+    const auto done = [&] { return ws.completed_ticket >= ticket; };
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto op_deadline =
+        retry_.op_timeout_ms > 0
+            ? t0 + std::chrono::milliseconds(retry_.op_timeout_ms)
+            : std::chrono::steady_clock::time_point::max();
+    std::uint64_t backoff = std::max<std::uint64_t>(retry_.base_ms, 1);
+    for (;;) {
+      if (done()) return;
+      if (!retry_.enabled) {
+        if (retry_.op_timeout_ms > 0) {
+          if (!ws.cv.wait_until(lock, op_deadline, done)) {
+            lock.unlock();
+            detail::record_phase(obs::EventKind::kOpTimeout, owner,
+                                 kBatchProto, owner, ticket);
+            detail::timeout_counter().add();
+            throw registers::OpTimeout(
+                "batched write ticket " + std::to_string(ticket) + " by p" +
+                std::to_string(owner) + " timed out after " +
+                std::to_string(retry_.op_timeout_ms) +
+                " ms (outcome indeterminate)");
+          }
+        } else {
+          ws.cv.wait(lock, done);
+        }
+        continue;
+      }
+      const auto until = std::min(std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(backoff),
+                                  op_deadline);
+      if (ws.cv.wait_until(lock, until, done)) return;
+      if (std::chrono::steady_clock::now() >= op_deadline) {
+        lock.unlock();
+        detail::record_phase(obs::EventKind::kOpTimeout, owner, kBatchProto,
+                             owner, ticket);
+        detail::timeout_counter().add();
+        throw registers::OpTimeout(
+            "batched write ticket " + std::to_string(ticket) + " by p" +
+            std::to_string(owner) + " timed out after " +
+            std::to_string(retry_.op_timeout_ms) +
+            " ms (outcome indeterminate)");
+      }
+      if (ws.interrupted) continue;  // owner down: recovery re-leads
+      detail::record_phase(obs::EventKind::kOpRetry, owner, kBatchProto,
+                           owner, ws.inflight_round, backoff);
+      detail::retry_counter().add();
+      if (ws.in_flight) {
+        Batch copy = ws.inflight_batch;
+        const std::uint64_t round = ws.inflight_round;
+        lock.unlock();
+        Message m;
+        m.reg = kBatchProto;
+        m.type = "BWRITE";
+        m.sn = round;
+        m.payload = std::move(copy);
+        net_.broadcast(m);
+        lock.lock();
+      } else {
+        maybe_lead(ws, lock);
+      }
+      backoff = std::min(backoff * 2, std::max(retry_.max_ms, retry_.base_ms));
+    }
   }
 
  private:
@@ -201,6 +308,10 @@ class BatchShard {
     bool in_flight = false;
     std::uint64_t inflight_round = 0;
     std::uint64_t inflight_last_ticket = 0;
+    Batch inflight_batch;  // kept for retry / crash-recovery re-leads
+    // Owner crashed with the round in flight: parks await()'s retry timer
+    // until restart, when recover() re-leads the round.
+    bool interrupted = false;
     std::set<int> backs;
   };
 
@@ -212,7 +323,10 @@ class BatchShard {
   };
   struct ServerState {
     // (origin, round) echoed at most once — the non-equivocation guard.
-    std::set<std::pair<int, std::uint64_t>> echoed;
+    // Maps to the digest voted for (-1 = refused as malformed), so a
+    // duplicate (retried) BWRITE re-issues the ORIGINAL vote instead of
+    // being able to recruit support for anything new.
+    std::map<std::pair<int, std::uint64_t>, int> echoed;
     // (reg, sn) ops echo-supported so far, across ALL rounds — the batched
     // analogue of the unbatched echo-once-per-sn rule. Honest owners never
     // reuse a register sn (allocate_sn_locked is strictly increasing), so
@@ -241,6 +355,7 @@ class BatchShard {
                      ws.pending.begin() + static_cast<std::ptrdiff_t>(take));
     ws.in_flight = true;
     ws.inflight_round = ++ws.last_round;
+    ws.inflight_batch = batch;  // retained for retry / recovery re-leads
     ws.backs.clear();
     const std::uint64_t round = ws.inflight_round;
     lock.unlock();
@@ -343,9 +458,30 @@ class BatchShard {
     const int origin = m.from;  // authenticated by the network
     std::unique_lock lock(mu_);
     ServerState& st = state_[static_cast<std::size_t>(self)];
-    if (!st.echoed.insert({origin, m.sn}).second) return;  // echo once
-    const int digest =
-        intern_batch(st, origin, std::any_cast<const Batch&>(m.payload));
+    const std::pair<int, std::uint64_t> key{origin, m.sn};
+    if (st.delivered.contains(key)) {
+      // Retried round already delivered here: the only effect left is
+      // refreshing the (possibly lost) BACK. Origins dedup by sender.
+      lock.unlock();
+      Message back;
+      back.reg = kBatchProto;
+      back.type = "BACK";
+      back.sn = m.sn;
+      back.to = origin;
+      net_.send(back);
+      return;
+    }
+    int digest;
+    const auto eit = st.echoed.find(key);
+    if (eit != st.echoed.end()) {
+      digest = eit->second;      // echo once: re-issue the original vote
+      if (digest < 0) return;    // refused as malformed: stays refused
+      lock.unlock();
+      vote("BECHO", origin, m.sn, digest);
+      return;
+    }
+    digest = intern_batch(st, origin, std::any_cast<const Batch&>(m.payload));
+    st.echoed.emplace(key, digest);
     if (digest < 0) return;
     lock.unlock();
     detail::record_phase(obs::EventKind::kPhaseEcho, self, kBatchProto,
@@ -441,6 +577,7 @@ class BatchShard {
   const int n_;
   const int f_;
   const int batch_max_;
+  const RetryPolicy retry_;
   Network net_;
   std::mutex mu_;  // protocol state: registry_, state_, digests_
   std::map<int, detail::BatchRegOps*> registry_;
@@ -464,9 +601,10 @@ class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
  public:
   BatchedSwmr(BatchShard& shard, int reg_id, int n, int f,
               runtime::ProcessId owner, T initial, std::string name,
-              runtime::ProcessId sole_reader = runtime::kNoProcess)
+              runtime::ProcessId sole_reader = runtime::kNoProcess,
+              RetryPolicy retry = {})
       : Core(reg_id, n, f, owner, std::move(initial), std::move(name),
-             sole_reader),
+             sole_reader, retry),
         shard_(&shard) {}
 
   // ------------------------------------------------------------- client
@@ -594,6 +732,9 @@ class BatchedEmulatedSpace {
     // Run the quorum resync when a crashed process restarts (see
     // EmulatedSpace::Options::recover_on_restart).
     bool recover_on_restart = true;
+    // Client-op retry/deadline policy, applied to every shard and register
+    // (design note 14).
+    RetryPolicy retry{};
   };
 
   explicit BatchedEmulatedSpace(Options options) : options_(options) {
@@ -606,7 +747,7 @@ class BatchedEmulatedSpace {
               ? 0
               : options_.reorder_seed + 7919u * static_cast<std::uint64_t>(s);
       shards_.push_back(std::make_unique<BatchShard>(
-          options_.n, options_.f, seed, options_.batch_max));
+          options_.n, options_.f, seed, options_.batch_max, options_.retry));
     }
   }
 
@@ -646,6 +787,10 @@ class BatchedEmulatedSpace {
     detail::record_phase(obs::EventKind::kRestart, pid, -1, pid, 0);
     for (auto& s : shards_) s->restart(pid);
     if (options_.recover_on_restart) resync(pid);
+    // Client-role recovery: re-lead any round pid was driving when it
+    // crashed (complete-only — see BatchShard::recover).
+    runtime::ThisProcess::Binder bind(pid);
+    for (auto& s : shards_) s->recover(pid);
   }
 
   void resync(runtime::ProcessId pid) {
@@ -680,15 +825,13 @@ class BatchedEmulatedSpace {
         id % static_cast<int>(shards_.size()))];
     std::unique_ptr<BatchedSwmr<T>> reg;
     if (reader == runtime::kNoProcess) {
-      reg = std::make_unique<BatchedSwmr<T>>(shard, id, options_.n,
-                                             options_.f, owner,
-                                             std::move(initial),
-                                             std::move(name));
+      reg = std::make_unique<BatchedSwmr<T>>(
+          shard, id, options_.n, options_.f, owner, std::move(initial),
+          std::move(name), runtime::kNoProcess, options_.retry);
     } else {
-      reg = std::make_unique<BatchedSwsr<T>>(shard, id, options_.n,
-                                             options_.f, owner,
-                                             std::move(initial),
-                                             std::move(name), reader);
+      reg = std::make_unique<BatchedSwsr<T>>(
+          shard, id, options_.n, options_.f, owner, std::move(initial),
+          std::move(name), reader, options_.retry);
     }
     auto& ref = *reg;
     shard.add_register(id, reg.get());

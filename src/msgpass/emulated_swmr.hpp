@@ -78,6 +78,13 @@ struct HandlerBase {
   // Recovery: the calling thread is bound as process `self` (rejoined after
   // a crash); replay the missed certificates from f+1 live peers.
   virtual void resync_process(int self) = 0;
+  // Client-role recovery after the OWNER restarted (thread bound as pid):
+  // decide the fate of writes pid had in flight when it crashed. With
+  // `recover` false only the retry suppression is lifted (no fence).
+  virtual void owner_restarted(int pid, bool recover) {
+    (void)pid;
+    (void)recover;
+  }
 };
 }  // namespace detail
 
@@ -91,9 +98,10 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
  public:
   EmulatedSwmr(Network& net, int reg_id, int n, int f,
                runtime::ProcessId owner, T initial, std::string name,
-               runtime::ProcessId sole_reader = runtime::kNoProcess)
+               runtime::ProcessId sole_reader = runtime::kNoProcess,
+               RetryPolicy retry = {})
       : Core(reg_id, n, f, owner, std::move(initial), std::move(name),
-             sole_reader),
+             sole_reader, retry),
         net_(&net) {
     ladder_.resize(static_cast<std::size_t>(n) + 1);
   }
@@ -130,7 +138,14 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     const runtime::ProcessId self = runtime::ThisProcess::id();
     if (m.type == "WRITE") {
       if (m.from != this->owner_) return;  // only the owner's writes count
-      on_write(self, m);
+      on_write(self, m, /*complete=*/false);
+    } else if (m.type == "CWRITE") {
+      // Completion re-issue from the owner's crash recovery: the only
+      // message that lifts an abort fence (a plain retried WRITE must stay
+      // inert at fenced servers or a delayed pre-crash copy could undo a
+      // finalized abort).
+      if (m.from != this->owner_) return;
+      on_write(self, m, /*complete=*/true);
     } else if (m.type == "ECHO") {
       on_echo(self, m);
     } else if (m.type == "ACCEPT") {
@@ -143,8 +158,14 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
       // ACKs would otherwise recreate map entries that are never erased.
       const auto it = acks_.find(m.sn);
       if (it == acks_.end()) return;
-      it->second.insert(m.from);
+      it->second.acks.insert(m.from);
       this->cv_.notify_all();
+    } else if (m.type == "ABORT") {
+      if (m.from != this->owner_) return;  // only the owner fences its sns
+      on_abort(self, m);
+    } else if (m.type == "ABACK") {
+      if (self != this->owner_) return;
+      on_aback(m);
     } else if (m.type == "READ") {
       this->serve_read(*net_, self, m);
     } else if (m.type == "STATE") {
@@ -163,9 +184,55 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     std::scoped_lock lock(this->mu_);
     this->reset_stored_locked(pid);
     ladder_[static_cast<std::size_t>(pid)].cands.clear();
+    if (pid == this->owner_) {
+      // In-flight writes just lost their owner: mark them interrupted so
+      // the client's retry timer stops re-broadcasting (the network
+      // squelch already discards its sends) and the blocked writer thread
+      // parks until restart, when owner_restarted decides each fate.
+      for (auto& [sn, w] : acks_)
+        if (w.fate == AckWait::Fate::kPending) w.interrupted = true;
+      this->cv_.notify_all();
+    }
   }
 
   void resync_process(int self) override { this->resync_via(*net_, self); }
+
+  // Owner-side crash recovery (design note 14). Runs bound as `pid` after
+  // the server-side resync healed this process's replica. Each write that
+  // was in flight when the owner died gets a determinate outcome:
+  //  * the resynced state already carries sn (some correct quorum certified
+  //    it) -> complete: re-drive the ladder with CWRITE until the ACKs land.
+  //  * otherwise run the abort fence: broadcast ABORT(sn) until n−f
+  //    processes reply ABACK. A replier that delivered sn — or had already
+  //    sent ACCEPT for it — says so (unsafe) -> complete after all.
+  //    Repliers that had done neither promise never to echo/accept/deliver
+  //    sn. With n−f clean fences, accept-senders are capped at 2f < n−f
+  //    forever (f non-repliers + f lying Byzantine repliers; see on_abort):
+  //    no correct process ever delivers sn, so no read (n−f vouchers) or
+  //    resync (f+1 vouchers, inductively no correct holder) can surface it.
+  //    The abort is FINAL; the owner's local view rolls back to the
+  //    resynced certified state and the writer gets registers::WriteAborted.
+  // With `recover` false (recovery subsystem disabled), only the retry
+  // suppression is lifted: client retries resume, nothing is decided.
+  void owner_restarted(int pid, bool recover) override {
+    if (pid != this->owner_) return;
+    std::vector<std::uint64_t> inflight;
+    {
+      std::scoped_lock lock(this->mu_);
+      for (auto& [sn, w] : acks_) {
+        if (w.fate != AckWait::Fate::kPending) continue;
+        if (recover)
+          inflight.push_back(sn);
+        else
+          w.interrupted = false;
+      }
+      if (!recover) {
+        this->cv_.notify_all();
+        return;
+      }
+    }
+    for (const std::uint64_t sn : inflight) recover_write(sn);
+  }
 
  private:
   struct Candidate {
@@ -175,33 +242,76 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     bool sent_accept = false;
   };
   struct LadderState {
-    std::set<std::uint64_t> echoed;  // echo-once-per-sn (must persist)
+    // Echo-once-per-sn, sn -> echoed value id (must persist). Storing the
+    // vid rather than bare membership lets a duplicate WRITE re-issue the
+    // ORIGINAL echo — idempotent refresh of a lost message, never support
+    // for an equivocated second value.
+    std::map<std::uint64_t, int> echoed;
     // Delivered sns (persists, like echoed): ECHO/ACCEPT votes for a
     // delivered sn are ignored, so a Byzantine ACCEPT replay landing after
     // the candidate map below is pruned cannot pool with a correct
     // straggler's vote into a fresh f+1 and re-trigger the whole
     // amplification + ACK storm.
     std::set<std::uint64_t> delivered;
+    // Abort-fenced sns (persists): this server promised the recovering
+    // owner it would never echo, accept, or deliver these. Only a CWRITE
+    // from the owner lifts the fence.
+    std::set<std::uint64_t> blocked;
     // per sn: candidate values (usually 1; >1 only under equivocation).
     // The entry is erased once a candidate delivers; `delivered` above
     // keeps post-delivery votes from resurrecting it.
     std::map<std::uint64_t, std::vector<Candidate>> cands;
   };
 
-  // Core of write(): caller holds writer_mu_.
+  // Owner-side wait slot for one in-flight write sn.
+  struct AckWait {
+    enum class Fate { kPending, kCompleted, kAborted };
+    int vid = -1;  // interned value, for retry re-broadcasts
+    std::set<int> acks;
+    // Owner crashed with this write in flight: suppresses the client's
+    // retry timer until restart (recovery owns the sn meanwhile).
+    bool interrupted = false;
+    // Recovery proved the sn delivered somewhere: retries switch to CWRITE
+    // so they also lift any fences granted before the delivery was found.
+    bool recovered = false;
+    Fate fate = Fate::kPending;
+  };
+
+  // Owner-side wait slot for one abort fence (recovery only).
+  struct FenceWait {
+    std::set<int> repliers;
+    // Some replier delivered sn or had already sent ACCEPT for it: the
+    // write must complete, not abort (see on_abort).
+    bool unsafe_any = false;
+  };
+
+  // Core of write(): caller holds writer_mu_. Completes on n−f ACKs (or a
+  // recovery completion); throws registers::WriteAborted if the owner
+  // crashed mid-write and recovery's fence finalized the sn as aborted, or
+  // registers::OpTimeout past retry_.op_timeout_ms. Retry layer (design
+  // note 14): each lapsed backoff slice re-broadcasts the WRITE — a pure
+  // refresh of lost messages, idempotent at every server (echo-once re-
+  // issues the original echo, delivered servers just re-ACK) — so a retry
+  // can never re-certify a quorum or recruit equivocation support.
   void write_locked(T v) {
     static obs::LogHistogram& ack_hist =
         obs::MetricsRegistry::global().histogram("msgpass.write_ack_wait_us");
     const std::uint64_t sn = this->allocate_sn_locked(v);
+    int vid;
     {
       // Open the ACK wait slot before broadcasting so the ACK handler can
       // tell the in-flight write from stale/replayed sns.
       std::scoped_lock lock(this->mu_);
-      acks_[sn];
+      vid = this->intern_locked(v);
+      acks_[sn].vid = vid;
     }
     detail::record_phase(obs::EventKind::kWriteStart, this->owner_,
                          this->reg_id_, this->owner_, sn);
     const auto t0 = std::chrono::steady_clock::now();
+    const auto op_deadline =
+        this->retry_.op_timeout_ms > 0
+            ? t0 + std::chrono::milliseconds(this->retry_.op_timeout_ms)
+            : std::chrono::steady_clock::time_point::max();
     Message m;
     m.reg = this->reg_id_;
     m.type = "WRITE";
@@ -211,10 +321,79 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     detail::record_phase(obs::EventKind::kQuorumWait, this->owner_,
                          this->reg_id_, this->owner_, sn,
                          static_cast<std::uint64_t>(this->n_ - this->f_));
+    std::uint64_t backoff = std::max<std::uint64_t>(this->retry_.base_ms, 1);
     std::unique_lock lock(this->mu_);
-    this->cv_.wait(lock, [&] {
-      return static_cast<int>(acks_[sn].size()) >= this->n_ - this->f_;
-    });
+    const auto settled = [&] {
+      const AckWait& w = acks_[sn];
+      return static_cast<int>(w.acks.size()) >= this->n_ - this->f_ ||
+             w.fate != AckWait::Fate::kPending;
+    };
+    for (;;) {
+      AckWait& w = acks_[sn];
+      if (w.fate == AckWait::Fate::kAborted) {
+        acks_.erase(sn);
+        lock.unlock();
+        detail::record_phase(obs::EventKind::kWriteAbort, this->owner_,
+                             this->reg_id_, this->owner_, sn);
+        detail::abort_counter().add();
+        throw registers::WriteAborted(
+            "write sn " + std::to_string(sn) + " on '" + this->name_ +
+            "' aborted: owner crashed before the value could deliver");
+      }
+      if (static_cast<int>(w.acks.size()) >= this->n_ - this->f_ ||
+          w.fate == AckWait::Fate::kCompleted)
+        break;
+      if (!this->retry_.enabled) {
+        if (this->retry_.op_timeout_ms > 0) {
+          if (!this->cv_.wait_until(lock, op_deadline, settled)) {
+            acks_.erase(sn);
+            lock.unlock();
+            detail::record_phase(obs::EventKind::kOpTimeout, this->owner_,
+                                 this->reg_id_, this->owner_, sn);
+            detail::timeout_counter().add();
+            throw registers::OpTimeout(
+                "write sn " + std::to_string(sn) + " on '" + this->name_ +
+                "' timed out after " +
+                std::to_string(this->retry_.op_timeout_ms) +
+                " ms (outcome indeterminate)");
+          }
+        } else {
+          this->cv_.wait(lock, settled);
+        }
+        continue;
+      }
+      const auto until = std::min(std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(backoff),
+                                  op_deadline);
+      if (this->cv_.wait_until(lock, until, settled)) continue;
+      if (std::chrono::steady_clock::now() >= op_deadline) {
+        acks_.erase(sn);
+        lock.unlock();
+        detail::record_phase(obs::EventKind::kOpTimeout, this->owner_,
+                             this->reg_id_, this->owner_, sn);
+        detail::timeout_counter().add();
+        throw registers::OpTimeout(
+            "write sn " + std::to_string(sn) + " on '" + this->name_ +
+            "' timed out after " +
+            std::to_string(this->retry_.op_timeout_ms) +
+            " ms (outcome indeterminate)");
+      }
+      if (w.interrupted) continue;  // owner down: recovery owns this sn
+      const bool cwrite = w.recovered;
+      lock.unlock();
+      detail::record_phase(obs::EventKind::kOpRetry, this->owner_,
+                           this->reg_id_, this->owner_, sn, backoff);
+      detail::retry_counter().add();
+      Message rm;
+      rm.reg = this->reg_id_;
+      rm.type = cwrite ? "CWRITE" : "WRITE";
+      rm.sn = sn;
+      rm.payload = value_snapshot(vid);
+      net_->broadcast(rm);
+      lock.lock();
+      backoff = std::min(backoff * 2,
+                         std::max(this->retry_.max_ms, this->retry_.base_ms));
+    }
     acks_.erase(sn);
     lock.unlock();
     const auto elapsed = std::chrono::steady_clock::now() - t0;
@@ -234,12 +413,37 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     return st.cands[sn].back();
   }
 
-  void on_write(int self, const Message& m) {
+  // WRITE and CWRITE. A duplicate (retried) WRITE is inert except for
+  // refreshing what may have been lost: a delivered server re-ACKs, an
+  // echoed server re-broadcasts its ORIGINAL echo (receivers dedup votes by
+  // sender, so tallies never double-count — and an equivocating retry
+  // cannot recruit this server's support either). `complete` (CWRITE only)
+  // additionally lifts an abort fence — see handle().
+  void on_write(int self, const Message& m, bool complete) {
     std::unique_lock lock(this->mu_);
     LadderState& st = ladder_[static_cast<std::size_t>(self)];
-    if (st.echoed.contains(m.sn)) return;  // echo at most once per sn
-    st.echoed.insert(m.sn);
-    const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
+    if (st.delivered.contains(m.sn)) {
+      lock.unlock();
+      Message ack;
+      ack.reg = this->reg_id_;
+      ack.type = "ACK";
+      ack.sn = m.sn;
+      ack.to = this->owner_;
+      net_->send(ack);
+      return;
+    }
+    if (st.blocked.contains(m.sn)) {
+      if (!complete) return;  // fenced: plain retries must stay inert
+      st.blocked.erase(m.sn);
+    }
+    int vid;
+    const auto it = st.echoed.find(m.sn);
+    if (it != st.echoed.end()) {
+      vid = it->second;  // re-issue the original echo, never a new one
+    } else {
+      vid = this->intern_locked(std::any_cast<const T&>(m.payload));
+      st.echoed.emplace(m.sn, vid);
+    }
     lock.unlock();
     detail::record_phase(obs::EventKind::kPhaseEcho, self, this->reg_id_,
                          this->owner_, m.sn);
@@ -255,6 +459,7 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     std::unique_lock lock(this->mu_);
     LadderState& st = ladder_[static_cast<std::size_t>(self)];
     if (st.delivered.contains(m.sn)) return;  // post-delivery vote: inert
+    if (st.blocked.contains(m.sn)) return;    // abort-fenced: no support
     const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
     Candidate& c = candidate(st, m.sn, vid);
     c.echoes.insert(m.from);
@@ -265,10 +470,60 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     std::unique_lock lock(this->mu_);
     LadderState& st = ladder_[static_cast<std::size_t>(self)];
     if (st.delivered.contains(m.sn)) return;  // post-delivery vote: inert
+    if (st.blocked.contains(m.sn)) return;    // abort-fenced: no support
     const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
     Candidate& c = candidate(st, m.sn, vid);
     c.accepts.insert(m.from);
     progress(self, st, m.sn, c, lock);
+  }
+
+  // Server side of the abort fence. The reply payload is an unsafe-to-
+  // abort bit: true if this server DELIVERED sn — or merely SENT ACCEPT for
+  // it. The accepted case matters for finality: fencing is not retroactive
+  // for ACCEPTs already in flight, so if an accept-sender could grant a
+  // "clean" fence, n−f clean replies might coexist with enough pre-fence
+  // ACCEPTs for some unfenced process to still deliver the value later.
+  // Counting accept-senders as unsafe restores the bound: when every one of
+  // n−f repliers has neither delivered nor accepted, total accept-senders
+  // are at most f non-repliers + f lying Byzantine repliers = 2f < n−f,
+  // forever — so no correct process can ever deliver sn. An undelivered sn
+  // is blocked either way (a persistent promise to never echo/accept/
+  // deliver it, same stable-storage model as the dedup sets); if the owner
+  // ends up completing, its CWRITE lifts the block.
+  void on_abort(int self, const Message& m) {
+    bool unsafe;
+    {
+      std::scoped_lock lock(this->mu_);
+      LadderState& st = ladder_[static_cast<std::size_t>(self)];
+      unsafe = st.delivered.contains(m.sn);
+      if (!unsafe) {
+        const auto cit = st.cands.find(m.sn);
+        if (cit != st.cands.end())
+          for (const Candidate& c : cit->second)
+            if (c.sent_accept) {
+              unsafe = true;
+              break;
+            }
+        st.blocked.insert(m.sn);
+        st.cands.erase(m.sn);  // in-progress tallies for sn die with it
+      }
+    }
+    Message r;
+    r.reg = this->reg_id_;
+    r.type = "ABACK";
+    r.sn = m.sn;
+    r.to = m.from;
+    r.payload = unsafe;
+    net_->send(r);
+  }
+
+  void on_aback(const Message& m) {
+    std::scoped_lock lock(this->mu_);
+    const auto it = fence_.find(m.sn);
+    if (it == fence_.end()) return;  // reply to a finished fence
+    it->second.repliers.insert(m.from);
+    if (std::any_cast<bool>(m.payload)) it->second.unsafe_any = true;
+    this->cv_.notify_all();
   }
 
   // Evaluates the Bracha ladder for one candidate. Called under mu_;
@@ -329,9 +584,91 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     return this->values_[static_cast<std::size_t>(vid)];
   }
 
+  // Recovery for one interrupted write sn (thread bound as the owner; see
+  // owner_restarted for the safety argument). Decides complete-vs-abort and
+  // applies the outcome to the writer's wait slot.
+  void recover_write(std::uint64_t sn) {
+    bool certified;
+    {
+      // The server-side resync just adopted the highest f+1-vouched pair
+      // into our own replica: if it carries sn, the write delivered
+      // somewhere and must complete.
+      std::scoped_lock lock(this->mu_);
+      certified =
+          this->state_[static_cast<std::size_t>(this->owner_)].stored_sn >= sn;
+    }
+    const bool complete = certified || !fence_write(sn);
+    std::unique_lock lock(this->mu_);
+    const auto it = acks_.find(sn);
+    if (it == acks_.end()) return;  // writer gave up (op timeout) meanwhile
+    AckWait& w = it->second;
+    if (complete) {
+      w.recovered = true;
+      w.interrupted = false;
+      const int vid = w.vid;
+      this->cv_.notify_all();
+      lock.unlock();
+      // Kick the completion now rather than waiting a backoff slice: the
+      // CWRITE lifts any fences granted mid-recovery and re-drives the
+      // ladder toward the missing ACKs (the writer's own retries continue
+      // as CWRITE from here).
+      Message cm;
+      cm.reg = this->reg_id_;
+      cm.type = "CWRITE";
+      cm.sn = sn;
+      cm.payload = value_snapshot(vid);
+      net_->broadcast(cm);
+    } else {
+      w.fate = AckWait::Fate::kAborted;
+      w.interrupted = false;
+      // The aborted value is unreachable by any read or resync; roll the
+      // owner's local view back to what the quorum actually certified
+      // (resync wrote it into our replica just above). write_sn_ is NOT
+      // rolled back — sns are never reused, or stale echo-once refusals
+      // would wedge the next write.
+      const auto& own = this->state_[static_cast<std::size_t>(this->owner_)];
+      this->owner_view_ = own.stored_val;
+      this->owner_view_sn_ = own.stored_sn;
+      this->cv_.notify_all();
+    }
+  }
+
+  // Broadcast ABORT(sn) until n−f ABACKs arrive (bounded-exponential
+  // re-broadcast, like every other quorum wait). Returns true if the fence
+  // fully committed (write aborted): every replier had neither delivered
+  // nor accepted sn. False means some replier is unsafe — complete instead.
+  bool fence_write(std::uint64_t sn) {
+    {
+      std::scoped_lock lock(this->mu_);
+      fence_[sn];  // open the wait slot before broadcasting
+    }
+    std::uint64_t backoff = std::max<std::uint64_t>(this->retry_.base_ms, 1);
+    Message m;
+    m.reg = this->reg_id_;
+    m.type = "ABORT";
+    m.sn = sn;
+    for (;;) {
+      net_->broadcast(m);
+      std::unique_lock lock(this->mu_);
+      const auto quorum = [&] {
+        return static_cast<int>(fence_[sn].repliers.size()) >=
+               this->n_ - this->f_;
+      };
+      if (this->cv_.wait_for(lock, std::chrono::milliseconds(backoff),
+                             quorum)) {
+        const bool unsafe_any = fence_[sn].unsafe_any;
+        fence_.erase(sn);
+        return !unsafe_any;
+      }
+      backoff = std::min(backoff * 2,
+                         std::max(this->retry_.max_ms, this->retry_.base_ms));
+    }
+  }
+
   Network* net_;
-  std::vector<LadderState> ladder_;              // per process
-  std::map<std::uint64_t, std::set<int>> acks_;  // per write sn
+  std::vector<LadderState> ladder_;         // per process
+  std::map<std::uint64_t, AckWait> acks_;   // per in-flight write sn (owner)
+  std::map<std::uint64_t, FenceWait> fence_;  // per recovering sn (owner)
 };
 
 // SWSR flavor: same protocol, read restricted to one process.
@@ -359,6 +696,9 @@ class EmulatedSpace {
     // by the crash/rejoin regression test, to demonstrate the stale state a
     // rejoined server would otherwise serve.
     bool recover_on_restart = true;
+    // Client-op retry/deadline policy, applied to every register created by
+    // this space (design note 14).
+    RetryPolicy retry{};
   };
 
   explicit EmulatedSpace(Options options)
@@ -376,16 +716,19 @@ class EmulatedSpace {
 
   // ---------------------------------------------------- crash / restart
   //
-  // Precondition (driver-enforced): pid has no in-flight client operations
-  // of its own — crash models a server, not an operation, dying. Its
-  // server thread keeps running but drops everything (a crashed process
-  // neither receives nor sends), and each register wipes pid's volatile
-  // protocol state. At most f processes may be down at once or quorum
-  // waits of live clients block (there is no retransmission).
+  // A crash may land mid-operation: pid's server thread keeps running but
+  // drops everything it receives, the network squelches everything it would
+  // send, and each register wipes pid's volatile protocol state. Writes pid
+  // had in flight as a CLIENT are suspended (their retry timers park) until
+  // restart, when the recovery pass gives each one a determinate outcome —
+  // completed or aborted (EmulatedSwmr::owner_restarted). At most f
+  // processes may be down at once or quorum waits of live clients stall
+  // until the window heals.
 
   void crash(runtime::ProcessId pid) {
     detail::record_phase(obs::EventKind::kCrash, pid, -1, pid, 0);
     std::vector<detail::HandlerBase*> regs = handlers();
+    net_.set_squelched(pid, true);
     crashed_[static_cast<std::size_t>(pid)].store(true,
                                                   std::memory_order_release);
     for (auto* reg : regs) reg->crash_process(pid);
@@ -393,14 +736,21 @@ class EmulatedSpace {
 
   // Brings pid back. With recover_on_restart the rejoining server replays
   // the certificates it missed from f+1 live peers (resync) before the
-  // call returns; without it the server rejoins with its wiped (0, initial)
-  // state and serves stale STATE replies until organic traffic catches it
-  // up — exactly what the regression test demonstrates.
+  // call returns, then the client-role recovery pass settles any writes pid
+  // had in flight when it died (complete or abort; design note 14). Without
+  // it the server rejoins with its wiped (0, initial) state and serves
+  // stale STATE replies until organic traffic catches it up — exactly what
+  // the regression test demonstrates — and interrupted writes just resume
+  // their retry timers.
   void restart(runtime::ProcessId pid) {
     detail::record_phase(obs::EventKind::kRestart, pid, -1, pid, 0);
+    net_.set_squelched(pid, false);
     crashed_[static_cast<std::size_t>(pid)].store(false,
                                                   std::memory_order_release);
     if (options_.recover_on_restart) resync(pid);
+    runtime::ThisProcess::Binder bind(pid);
+    for (auto* reg : handlers())
+      reg->owner_restarted(pid, options_.recover_on_restart);
   }
 
   // Quorum resync of every register's state for pid, callable on its own —
@@ -418,7 +768,7 @@ class EmulatedSpace {
     const int id = static_cast<int>(registry_.size());
     auto reg = std::make_unique<EmulatedSwmr<T>>(
         net_, id, options_.n, options_.f, owner, std::move(initial),
-        std::move(name));
+        std::move(name), runtime::kNoProcess, options_.retry);
     auto& ref = *reg;
     registry_.push_back(std::move(reg));
     return ref;
@@ -432,7 +782,7 @@ class EmulatedSpace {
     const int id = static_cast<int>(registry_.size());
     auto reg = std::make_unique<EmulatedSwsr<T>>(
         net_, id, options_.n, options_.f, owner, std::move(initial),
-        std::move(name), reader);
+        std::move(name), reader, options_.retry);
     auto& ref = *reg;
     registry_.push_back(std::move(reg));
     return ref;

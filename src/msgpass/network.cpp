@@ -46,7 +46,9 @@ inline void record_msg(obs::EventKind kind, obs::MsgTag tag, int pid,
 Network::Network(Options options) : options_(options) {
   if (options_.n < 1) throw std::invalid_argument("network needs n >= 1");
   inboxes_.reserve(static_cast<std::size_t>(options_.n) + 1);
+  squelched_.reserve(static_cast<std::size_t>(options_.n) + 1);
   for (int pid = 0; pid <= options_.n; ++pid) {
+    squelched_.push_back(std::make_unique<std::atomic<bool>>(false));
     inboxes_.push_back(std::make_unique<Inbox>());
     // Per-inbox streams are always seeded (reorder_seed may be 0): the rng
     // is only consulted when reordering is active — via reorder_seed or a
@@ -62,10 +64,30 @@ Network::Inbox& Network::inbox_for(runtime::ProcessId pid) {
   return *inboxes_[static_cast<std::size_t>(pid)];
 }
 
+void Network::set_squelched(runtime::ProcessId pid, bool on) {
+  if (pid < 1 || pid > options_.n) return;
+  squelched_[static_cast<std::size_t>(pid)]->store(on,
+                                                   std::memory_order_release);
+}
+
+bool Network::is_squelched(runtime::ProcessId pid) const {
+  return pid >= 1 && pid <= options_.n &&
+         squelched_[static_cast<std::size_t>(pid)]->load(
+             std::memory_order_acquire);
+}
+
+std::uint64_t Network::messages_squelched() const {
+  return squelched_count_.load(std::memory_order_relaxed);
+}
+
 void Network::send(Message m) {
   const runtime::ProcessId self = runtime::ThisProcess::id();
   if (self < 1 || self > options_.n)
     throw std::logic_error("send requires a thread bound to p1..pn");
+  if (is_squelched(self)) {  // crashed: the send never happens
+    squelched_count_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   m.from = self;  // authenticated channel: identity cannot be spoofed
   deliver(std::move(m));
 }
@@ -74,6 +96,10 @@ void Network::broadcast(Message m) {
   const runtime::ProcessId self = runtime::ThisProcess::id();
   if (self < 1 || self > options_.n)
     throw std::logic_error("broadcast requires a thread bound to p1..pn");
+  if (is_squelched(self)) {
+    squelched_count_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   m.from = self;
   // One consolidated send event for the n-way fan-out (peer = -1, aux = n):
   // a broadcast is one protocol action, and per-destination events would

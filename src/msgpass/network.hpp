@@ -58,6 +58,15 @@ class Network {
   // thread that re-delivers held-back messages when their hold expires.
   void set_fault_injector(FaultInjector* injector);
 
+  // Crash model, sender side: while squelched, every send/broadcast from
+  // pid is silently discarded at the network boundary — a crashed process
+  // does not send. (The receive side is the dispatcher's job.) Messages
+  // already in flight — inboxes, the delay pump — still deliver: they left
+  // the sender before it died. Squelched sends are counted separately from
+  // injector drops so fault accounting stays exact.
+  void set_squelched(runtime::ProcessId pid, bool on);
+  std::uint64_t messages_squelched() const;
+
   std::uint64_t messages_sent() const;
   // Fault accounting (0 unless an injector dropped/held something).
   std::uint64_t messages_dropped() const;
@@ -97,8 +106,14 @@ class Network {
   void enqueue(Message m);  // final step: into the receiver's inbox
   void pump(std::stop_token st);
 
+  // True while the pid may not send (crashed). Checked lock-free on every
+  // send/broadcast.
+  bool is_squelched(runtime::ProcessId pid) const;
+
   Options options_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;  // index by pid
+  std::vector<std::unique_ptr<std::atomic<bool>>> squelched_;  // by pid
+  std::atomic<std::uint64_t> squelched_count_{0};
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> delayed_total_{0};

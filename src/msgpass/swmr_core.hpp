@@ -8,6 +8,7 @@
 // at once (the same reason detail::ServerPool owns the server loops).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -25,8 +26,26 @@
 #include "obs/recorder.hpp"
 #include "registers/errors.hpp"
 #include "runtime/process.hpp"
+#include "util/sharded_counter.hpp"
 
-namespace swsig::msgpass::detail {
+namespace swsig::msgpass {
+
+// Client-operation deadline/retry policy, shared by both substrates. A
+// blocked quorum wait re-issues its request after a bounded-exponential
+// backoff slice — safe because every re-issue is idempotent at the servers
+// (sn-keyed dedup: a retried WRITE/READ/BWRITE can refresh lost messages
+// but never re-certify or split a quorum; design note 14). op_timeout_ms
+// bounds the whole operation: 0 means retry forever (the soak default —
+// fault windows heal, so liveness comes from the schedule, and an
+// acknowledged-write guarantee must never be traded for a deadline).
+struct RetryPolicy {
+  bool enabled = true;
+  std::uint64_t base_ms = 40;      // first backoff slice
+  std::uint64_t max_ms = 640;      // backoff cap
+  std::uint64_t op_timeout_ms = 0;  // overall deadline; 0 = none
+};
+
+namespace detail {
 
 // One flight-recorder event for a ladder/read phase of register `reg`,
 // keyed (reg, origin, sn) for trace correlation (obs/export.hpp).
@@ -40,6 +59,23 @@ inline void record_phase(obs::EventKind kind, int pid, int reg, int origin,
   e.sn = sn;
   e.aux = aux;
   obs::record(e);
+}
+
+// Process-wide retry/abort telemetry (obs::MetricsRegistry), resolved once.
+inline util::ShardedCounter& retry_counter() {
+  static util::ShardedCounter& c =
+      obs::MetricsRegistry::global().counter("msgpass.op_retry");
+  return c;
+}
+inline util::ShardedCounter& timeout_counter() {
+  static util::ShardedCounter& c =
+      obs::MetricsRegistry::global().counter("msgpass.op_timeout");
+  return c;
+}
+inline util::ShardedCounter& abort_counter() {
+  static util::ShardedCounter& c =
+      obs::MetricsRegistry::global().counter("msgpass.write_abort");
+  return c;
 }
 
 template <typename T>
@@ -58,7 +94,8 @@ class SwmrCore {
 
  protected:
   SwmrCore(int reg_id, int n, int f, runtime::ProcessId owner, T initial,
-           std::string name, runtime::ProcessId sole_reader)
+           std::string name, runtime::ProcessId sole_reader,
+           RetryPolicy retry = {})
       : reg_id_(reg_id),
         n_(n),
         f_(f),
@@ -66,6 +103,7 @@ class SwmrCore {
         sole_reader_(sole_reader),
         name_(std::move(name)),
         initial_(initial),
+        retry_(retry),
         owner_view_(initial) {
     state_.resize(static_cast<std::size_t>(n_) + 1);
     for (int pid = 0; pid <= n_; ++pid) {
@@ -169,11 +207,23 @@ class SwmrCore {
   // use support = n−f (self-certifying, design note 6); recovery uses
   // support = f+1 — enough to pin at least one correct voucher, i.e. a
   // certificate the Bracha ladder really delivered.
+  //
+  // Retry layer (design note 14): a reply quorum that fails to assemble
+  // within the current backoff slice — replies lost to drops, partitions,
+  // or a crashed server — re-broadcasts with a FRESH rid (reads have no
+  // server-side effects; stale STATE replies to the abandoned rid are
+  // ignored by accept_state). retry_.op_timeout_ms, if set, bounds the
+  // whole operation with registers::OpTimeout.
   std::pair<std::uint64_t, int> quorum_pair_via(Network& net, int support) {
     static obs::LogHistogram& quorum_hist =
         obs::MetricsRegistry::global().histogram("msgpass.read_quorum_us");
     const int self = runtime::ThisProcess::id();
     const auto t0 = std::chrono::steady_clock::now();
+    const auto op_deadline =
+        retry_.op_timeout_ms > 0
+            ? t0 + std::chrono::milliseconds(retry_.op_timeout_ms)
+            : std::chrono::steady_clock::time_point::max();
+    std::uint64_t backoff = std::max<std::uint64_t>(retry_.base_ms, 1);
     for (;;) {
       std::uint64_t rid;
       {
@@ -191,35 +241,68 @@ class SwmrCore {
       record_phase(obs::EventKind::kQuorumWait, self, reg_id_, owner_, rid,
                    static_cast<std::uint64_t>(n_ - f_));
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [&] {
+      const auto reply_quorum = [&] {
         return static_cast<int>(reads_[rid].senders.size()) >= n_ - f_;
-      });
-      // Highest pair reported identically by >= support distinct processes.
-      std::uint64_t best_sn = 0;
-      int best_vid = -1;
-      for (const auto& [key, vouchers] : reads_[rid].support) {
-        if (static_cast<int>(vouchers.size()) >= support &&
-            (best_vid < 0 || key.first > best_sn)) {
-          best_sn = key.first;
-          best_vid = key.second;
+      };
+      bool replied = true;
+      if (!retry_.enabled) {
+        if (retry_.op_timeout_ms > 0)
+          replied = cv_.wait_until(lock, op_deadline, reply_quorum);
+        else
+          cv_.wait(lock, reply_quorum);
+      } else {
+        const auto until = std::min(
+            std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(backoff),
+            op_deadline);
+        replied = cv_.wait_until(lock, until, reply_quorum);
+      }
+      if (replied) {
+        // Highest pair reported identically by >= support distinct
+        // processes.
+        std::uint64_t best_sn = 0;
+        int best_vid = -1;
+        for (const auto& [key, vouchers] : reads_[rid].support) {
+          if (static_cast<int>(vouchers.size()) >= support &&
+              (best_vid < 0 || key.first > best_sn)) {
+            best_sn = key.first;
+            best_vid = key.second;
+          }
         }
-      }
-      reads_.erase(rid);
-      if (best_vid >= 0) {
+        reads_.erase(rid);
+        if (best_vid >= 0) {
+          lock.unlock();
+          quorum_hist.add(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+          record_phase(obs::EventKind::kReadDone, self, reg_id_, owner_, rid,
+                       best_sn);
+          return {best_sn, best_vid};
+        }
+        // No sufficiently-supported pair among these replies (stores still
+        // converging): retry with a fresh request, no backoff — replies ARE
+        // arriving, the stores just have not converged yet.
         lock.unlock();
-        quorum_hist.add(
-            std::chrono::duration<double, std::micro>(
-                std::chrono::steady_clock::now() - t0)
-                .count());
-        record_phase(obs::EventKind::kReadDone, self, reg_id_, owner_, rid,
-                     best_sn);
-        return {best_sn, best_vid};
+        record_phase(obs::EventKind::kReadRetry, self, reg_id_, owner_, rid);
+        std::this_thread::yield();
+        continue;
       }
-      // No sufficiently-supported pair among these replies (stores still
-      // converging): retry with a fresh request.
+      // Backoff slice lapsed short of a reply quorum: replies were lost.
+      reads_.erase(rid);
       lock.unlock();
-      record_phase(obs::EventKind::kReadRetry, self, reg_id_, owner_, rid);
-      std::this_thread::yield();
+      if (std::chrono::steady_clock::now() >= op_deadline) {
+        record_phase(obs::EventKind::kOpTimeout, self, reg_id_, owner_, rid);
+        timeout_counter().add();
+        throw registers::OpTimeout(
+            "read of '" + name_ + "' by p" + std::to_string(self) +
+            " timed out after " + std::to_string(retry_.op_timeout_ms) +
+            " ms");
+      }
+      record_phase(obs::EventKind::kOpRetry, self, reg_id_, owner_, rid,
+                   backoff);
+      retry_counter().add();
+      backoff = std::min(backoff * 2, std::max(retry_.max_ms, retry_.base_ms));
     }
   }
 
@@ -294,6 +377,7 @@ class SwmrCore {
   const runtime::ProcessId sole_reader_;  // kNoProcess = SWMR
   const std::string name_;
   const T initial_;  // crash wipes a server's store back to this
+  const RetryPolicy retry_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -310,4 +394,5 @@ class SwmrCore {
   std::map<std::uint64_t, ReadWait> reads_;
 };
 
-}  // namespace swsig::msgpass::detail
+}  // namespace detail
+}  // namespace swsig::msgpass

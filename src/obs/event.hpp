@@ -45,6 +45,13 @@ enum class EventKind : std::uint8_t {
   kCrash,
   kRestart,
   kResync,
+  // Retry / abort plane (pid = the retrying or aborting process).
+  kOpRetry,    // deadline lapsed, op re-issued (aux = backoff ms just waited)
+  kOpTimeout,  // op gave up at its overall deadline (retries disabled/spent)
+  kWriteAbort,  // owner's recovery fence finalized the write as aborted
+  // Partition plane (pid = the cut-off process; aux = PartitionMode).
+  kPartitionCut,
+  kPartitionHeal,
   kCount
 };
 
@@ -71,6 +78,11 @@ inline const char* kind_name(EventKind k) {
     case EventKind::kCrash: return "crash";
     case EventKind::kRestart: return "restart";
     case EventKind::kResync: return "resync";
+    case EventKind::kOpRetry: return "op_retry";
+    case EventKind::kOpTimeout: return "op_timeout";
+    case EventKind::kWriteAbort: return "write_abort";
+    case EventKind::kPartitionCut: return "partition_cut";
+    case EventKind::kPartitionHeal: return "partition_heal";
     default: return "?";
   }
 }
@@ -82,6 +94,7 @@ enum class MsgTag : std::uint8_t {
   kWrite, kEcho, kAccept, kAck, kRead, kState,          // per-write ladder
   kBWrite, kBEcho, kBAccept, kBack,                     // batched rounds
   kInit, kWbEcho, kReady,                               // witness broadcast
+  kAbort, kAbAck, kCWrite,                              // write-abort fence
   kCount
 };
 
@@ -101,6 +114,9 @@ inline const char* tag_name(MsgTag t) {
     case MsgTag::kInit: return "INIT";
     case MsgTag::kWbEcho: return "WECHO";
     case MsgTag::kReady: return "READY";
+    case MsgTag::kAbort: return "ABORT";
+    case MsgTag::kAbAck: return "ABACK";
+    case MsgTag::kCWrite: return "CWRITE";
     default: return "?";
   }
 }
@@ -115,7 +131,10 @@ inline MsgTag tag_of(const std::string& type) {
     case 'E': return type == "ECHO" ? MsgTag::kEcho : MsgTag::kOther;
     case 'A':
       if (type == "ACCEPT") return MsgTag::kAccept;
-      return type == "ACK" ? MsgTag::kAck : MsgTag::kOther;
+      if (type == "ACK") return MsgTag::kAck;
+      if (type == "ABORT") return MsgTag::kAbort;
+      return type == "ABACK" ? MsgTag::kAbAck : MsgTag::kOther;
+    case 'C': return type == "CWRITE" ? MsgTag::kCWrite : MsgTag::kOther;
     case 'R':
       if (type == "READ") return MsgTag::kRead;
       return type == "READY" ? MsgTag::kReady : MsgTag::kOther;

@@ -16,4 +16,27 @@ class PortViolation : public std::logic_error {
   explicit PortViolation(const std::string& what) : std::logic_error(what) {}
 };
 
+// Thrown when an operation exceeds its configured deadline
+// (msgpass::RetryPolicy::op_timeout_ms). For reads this is always safe —
+// a quorum read has no server-side effects to abandon. For writes it means
+// the outcome is INDETERMINATE: the ladder may still deliver after the
+// throw. Only the abort fence (WriteAborted below) gives a write a
+// determinate negative outcome; op timeouts exist for callers that opted
+// out of retries and accept indeterminacy (tests, bounded-latency probes).
+class OpTimeout : public std::runtime_error {
+ public:
+  explicit OpTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown by a write whose owner crashed mid-ladder and whose recovery
+// fence proved the value can never be delivered by any correct process
+// (n−f servers attested "not delivered, and I will never support it").
+// The write observably did NOT happen — no read, resync, or future quorum
+// can surface the value — so the checker may drop the invocation under
+// Definition 2's completion construction (HistoryRecorder::abort).
+class WriteAborted : public std::runtime_error {
+ public:
+  explicit WriteAborted(const std::string& what) : std::runtime_error(what) {}
+};
+
 }  // namespace swsig::registers

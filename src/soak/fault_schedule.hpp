@@ -11,21 +11,31 @@
 // clock).
 //
 // Schedule grammar (the --faults flag): '+'-separated subset of
-//   drop     victim-targeted message loss (needs the engaged gate — see
-//            below — and a victim pool of at most f processes)
-//   delay    bounded hold of any message (loss-free)
-//   reorder  receive-side reordering at every process (loss-free)
-//   crash    every crash_every-th window crashes the window's victim
-//            instead of dropping (driven by the soak driver, not by the
-//            injector: crash/restart are Space operations)
+//   drop       victim-targeted probabilistic message loss (needs the
+//              engaged gate — see below — and a victim pool of at most f
+//              processes)
+//   delay      bounded hold of any message (loss-free)
+//   reorder    receive-side reordering at every process (loss-free)
+//   crash      every crash_every-th window crashes the window's victim
+//              instead of dropping (driven by the soak driver, not by the
+//              injector: crash/restart are Space operations)
+//   partition  link cut isolating the window's victim for the whole active
+//              phase: 100% loss on the cut links (vs drop's coin flips),
+//              healed at the end of the window. The cut direction is
+//              seeded per window — symmetric (both directions), inbound
+//              (victim receives nothing), or asymmetric outbound (victim
+//              is heard by no one, but hears everyone). A process is never
+//              cut from itself (self-delivery models local computation).
 // "none" (or "") disables everything.
 //
-// The engaged gate: there is no retransmission layer, so a drop against a
-// process with an in-flight blocking operation of its own would stall that
+// The engaged gate: without a retry layer, a drop or cut against a process
+// with an in-flight blocking operation of its own would stall that
 // operation forever (its quorum replies never re-arrive). Time decides
-// WHEN a drop window is due; the driver decides IF it applies, by parking
-// the victim's client threads first and only then calling engage(true).
-// Delay and reorder are loss-free and ignore the gate.
+// WHEN a loss window is due; the driver decides IF it applies, by calling
+// engage(true) — after parking the victim's client threads (parked mode),
+// or permanently at start once the retry layer makes loss survivable
+// (unparked mode; design note 14). Delay and reorder are loss-free and
+// ignore the gate.
 #pragma once
 
 #include <atomic>
@@ -48,13 +58,15 @@ struct FaultKinds {
   bool delay = false;
   bool reorder = false;
   bool crash = false;
+  bool partition = false;
 
-  bool any() const { return drop || delay || reorder || crash; }
+  bool any() const { return drop || delay || reorder || crash || partition; }
   // Kinds whose application loses messages for a targeted process and so
   // must stay within the f budget (the victim rotation).
-  bool impairing() const { return drop || crash; }
+  bool impairing() const { return drop || crash || partition; }
 
-  // Parses the '+'-separated grammar above; throws on an unknown token.
+  // Parses the '+'-separated grammar above; throws on an unknown token,
+  // naming the valid kinds so a --faults typo is self-diagnosing.
   static FaultKinds parse(const std::string& spec) {
     FaultKinds k;
     if (spec.empty() || spec == "none") return k;
@@ -71,9 +83,12 @@ struct FaultKinds {
         k.reorder = true;
       } else if (tok == "crash") {
         k.crash = true;
+      } else if (tok == "partition") {
+        k.partition = true;
       } else {
-        throw std::invalid_argument("unknown fault kind '" + tok +
-                                    "' in schedule '" + spec + "'");
+        throw std::invalid_argument(
+            "unknown fault kind '" + tok + "' in schedule '" + spec +
+            "' (valid: drop, delay, reorder, crash, partition, none)");
       }
       if (plus == std::string::npos) break;
       pos = plus + 1;
@@ -91,9 +106,26 @@ struct FaultKinds {
     if (delay) add("delay");
     if (reorder) add("reorder");
     if (crash) add("crash");
+    if (partition) add("partition");
     return out.empty() ? "none" : out;
   }
 };
+
+// Direction of a partition window's link cut (seeded per window).
+enum class PartitionMode : std::uint8_t {
+  kSymmetric = 0,  // victim <-/-> everyone
+  kInbound,        // everyone -/-> victim (victim still heard)
+  kOutbound,       // victim -/-> everyone (victim still hears)
+};
+
+inline const char* partition_mode_name(PartitionMode m) {
+  switch (m) {
+    case PartitionMode::kSymmetric: return "symmetric";
+    case PartitionMode::kInbound: return "inbound";
+    case PartitionMode::kOutbound: return "outbound";
+    default: return "?";
+  }
+}
 
 struct FaultScheduleConfig {
   std::uint64_t seed = 1;
@@ -164,6 +196,23 @@ class FaultSchedule final : public msgpass::FaultInjector {
            window % config_.crash_every == config_.crash_every - 1;
   }
 
+  // Partition windows cut the victim's links for the whole active phase
+  // (100% loss, vs drop's per-message coin flips). When drop is also
+  // scheduled the two alternate on a seeded coin so both shapes occur;
+  // crash windows take precedence over both.
+  bool partition_window(std::uint64_t window) const {
+    if (!config_.kinds.partition || crash_window(window)) return false;
+    if (!config_.kinds.drop) return true;
+    return mix(config_.seed, window, kPartitionSalt) % 2 == 0;
+  }
+
+  // The cut direction for a partition window — seeded so symmetric and
+  // asymmetric cuts all occur over a long run.
+  PartitionMode partition_mode(std::uint64_t window) const {
+    return static_cast<PartitionMode>(
+        mix(config_.seed, window, kPartitionSalt ^ kVictimSalt) % 3);
+  }
+
   // Pure per-message decision at logical time now_ms: same (config, now
   // window, message) => same decision, on any run.
   msgpass::FaultDecision decide(std::uint64_t now_ms,
@@ -172,7 +221,28 @@ class FaultSchedule final : public msgpass::FaultInjector {
     if (!active_at(now_ms)) return d;
     const std::uint64_t w = window_at(now_ms);
     const std::uint64_t h = message_hash(w, m);
-    if (config_.kinds.drop && !crash_window(w)) {
+    if (partition_window(w)) {
+      const runtime::ProcessId victim = victim_of(w);
+      // Self-delivery (from == to) is local computation, never cut.
+      if (victim != runtime::kNoProcess && m.from != m.to) {
+        bool cut = false;
+        switch (partition_mode(w)) {
+          case PartitionMode::kSymmetric:
+            cut = m.from == victim || m.to == victim;
+            break;
+          case PartitionMode::kInbound:
+            cut = m.to == victim;
+            break;
+          case PartitionMode::kOutbound:
+            cut = m.from == victim;
+            break;
+        }
+        if (cut) {
+          d.drop = true;
+          return d;
+        }
+      }
+    } else if (config_.kinds.drop && !crash_window(w)) {
       const runtime::ProcessId victim = victim_of(w);
       if (victim != runtime::kNoProcess &&
           (m.from == victim || m.to == victim) &&
@@ -208,6 +278,7 @@ class FaultSchedule final : public msgpass::FaultInjector {
 
  private:
   static constexpr std::uint64_t kVictimSalt = 0x766963ULL;
+  static constexpr std::uint64_t kPartitionSalt = 0x706172ULL;
 
   // Mixes the seed, window and message identity into one 64-bit draw.
   // splitmix64 chains give full avalanche; the type string is folded in

@@ -44,6 +44,20 @@ struct SoakMetrics {
   std::uint64_t messages_delayed = 0;
   std::uint64_t crashes = 0;
   std::uint64_t resyncs = 0;
+  std::uint64_t partitions = 0;  // partition windows applied (cut+heal pairs)
+
+  // Retry/abort layer activity: retried client ops, ops that hit their
+  // overall deadline, and owner writes finalized as aborted by the
+  // recovery fence (removed from the checked history per Definition 2).
+  std::uint64_t op_retries = 0;
+  std::uint64_t op_timeouts = 0;
+  std::uint64_t write_aborts = 0;
+
+  // Byzantine-register sampling (decoy reads through the
+  // byzantine_completion witness construction).
+  std::uint64_t byz_reads = 0;
+  std::uint64_t byz_checks = 0;
+  std::uint64_t byz_failures = 0;
 
   double read_p50_us = 0, read_p99_us = 0;
   double write_p50_us = 0, write_p99_us = 0;
@@ -65,10 +79,12 @@ struct SoakMetrics {
   }
 
   // SLO: the run is healthy iff nothing stalled, no sampled window failed
-  // to linearize, and no operation errored.
+  // to linearize, no operation errored, and every Byzantine-register
+  // sample admitted a witness completion. Retries, aborts and partitions
+  // are NOT violations — they are the survivable faults being exercised.
   bool slo_ok() const {
     return liveness_violations == 0 && window_violations == 0 &&
-           op_errors == 0;
+           op_errors == 0 && byz_failures == 0;
   }
 
   void emit(bench::Reporter& rep) const {
@@ -88,6 +104,11 @@ struct SoakMetrics {
     rep.metric(p + "slo.window_violations",
                static_cast<double>(window_violations));
     rep.metric(p + "slo.op_errors", static_cast<double>(op_errors));
+    rep.metric(p + "slo.byz_failures", static_cast<double>(byz_failures));
+    rep.metric(p + "op_retries", static_cast<double>(op_retries));
+    rep.metric(p + "op_timeouts", static_cast<double>(op_timeouts));
+    rep.metric(p + "write_aborts", static_cast<double>(write_aborts));
+    rep.metric(p + "partitions", static_cast<double>(partitions));
     // Registry-sourced telemetry: per-message-type traffic and per-phase
     // latency quantiles. bench_compare only diffs keys present on both
     // sides, so these extend the baseline without invalidating it.
@@ -113,7 +134,13 @@ struct SoakMetrics {
        << max_stall_ms << " ms\n"
        << "  faults: " << messages_dropped << " dropped, "
        << messages_delayed << " delayed, " << crashes << " crashes, "
-       << resyncs << " resyncs\n";
+       << resyncs << " resyncs, " << partitions << " partitions\n"
+       << "  retry layer: " << op_retries << " retries, " << op_timeouts
+       << " timeouts, " << write_aborts << " write aborts\n";
+    if (byz_reads > 0 || byz_checks > 0)
+      os << "  byzantine sampling: " << byz_reads << " decoy reads, "
+         << byz_checks << " witness checks, " << byz_failures
+         << " failures\n";
     if (!msg_counters.empty()) {
       os << "  traffic:";
       for (const obs::CounterSnapshot& c : msg_counters)

@@ -40,10 +40,12 @@
 #include <utility>
 #include <vector>
 
+#include "lincheck/byzantine_completion.hpp"
 #include "lincheck/history.hpp"
 #include "lincheck/window.hpp"
 #include "msgpass/batched_space.hpp"
 #include "msgpass/emulated_swmr.hpp"
+#include "registers/errors.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -71,6 +73,14 @@ struct SoakConfig {
   int hot_registers = 16;  // per owner; half of all traffic lands here
   int value_pool = 1024;   // distinct values per register (bounds interning)
 
+  // Un-parked fault windows: impairment hits ACTIVE clients — including
+  // the owner itself mid-write — and the retry/abort layer, not the park
+  // gate, is what carries them through (design note 14). The victim pool
+  // widens to every process so honest owners crash mid-ladder; the
+  // impaired-set ≤ f invariant is kept per instant by quieting Byzantine
+  // agents during windows that impair an honest victim.
+  bool unparked = false;
+
   // Everything needed to replay this run, in soak_driver flag syntax —
   // printed on every failure so a failure is one command away from replay.
   std::string repro_line() const {
@@ -80,6 +90,7 @@ struct SoakConfig {
        << " --duration " << (duration_ms + 999) / 1000 << " --faults "
        << faults.to_string() << " --byzantine " << byzantine << " --seed "
        << seed;
+    if (unparked) os << " --unparked";
     return os.str();
   }
 };
@@ -263,11 +274,22 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
     owned[owner].push_back(i);
   }
   std::map<runtime::ProcessId, int> decoys;  // byz pid -> decoy reg id
+  // Decoy registers ARE sampled: a reader thread records their reads into
+  // a separate history checked through the byzantine_completion
+  // construction (the recorded history is reads-only — a Byzantine owner's
+  // writes are unverifiable by construction, so the checker must find a
+  // witness write sequence, Definition 7).
+  struct DecoyEntry {
+    std::string name;
+    Reg* reg;
+  };
+  std::vector<DecoyEntry> decoy_regs;
   int next_reg_id = cfg.registers;  // spaces assign ids in creation order
   for (const runtime::ProcessId pid : byz) {
-    space.template make_swmr<std::string>(pid, "0",
-                                          "decoy-p" + std::to_string(pid));
+    const std::string name = "decoy-p" + std::to_string(pid);
+    Reg& d = space.template make_swmr<std::string>(pid, "0", name);
     decoys[pid] = next_reg_id++;
+    decoy_regs.push_back(DecoyEntry{name, &d});
   }
 
   // ----- shared infrastructure
@@ -281,7 +303,15 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
   FaultScheduleConfig fcfg;
   fcfg.seed = cfg.seed;
   fcfg.kinds = cfg.faults;
-  fcfg.victims = byz.empty() ? std::vector<runtime::ProcessId>{cfg.n} : byz;
+  if (cfg.unparked) {
+    // Un-parked mode: any process — honest owners included — can be the
+    // window's victim, so crashes and cuts land on processes with live,
+    // mid-operation clients. Still one victim per window (≤ f impaired).
+    for (int pid = 1; pid <= cfg.n; ++pid)
+      fcfg.victims.push_back(pid);
+  } else {
+    fcfg.victims = byz.empty() ? std::vector<runtime::ProcessId>{cfg.n} : byz;
+  }
   FaultSchedule schedule(fcfg);
   detail::set_injector(space, &schedule);
 
@@ -291,8 +321,10 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
   std::atomic<bool> stop{false};
   std::atomic<int> live_workers{0};
   std::atomic<std::uint64_t> reads{0}, writes{0}, errors{0};
+  std::atomic<std::uint64_t> write_aborts{0}, byz_reads{0};
   std::atomic<bool> byz_on{false};
   std::mutex fail_mu;
+  lincheck::HistoryRecorder byz_rec;  // decoy-register samples (reads only)
 
   // Run-scoped registry telemetry: latency histograms rewound at run start
   // (one process hosts several runs — soak_test, the driver's substrate
@@ -306,6 +338,10 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
   std::map<std::string, std::uint64_t> net_baseline;
   for (const obs::CounterSnapshot& c : registry.counters("net."))
     net_baseline[c.name] = c.value;
+  // Retry/abort counters are process-wide and never reset, so this run's
+  // contribution is the delta against a start snapshot, like "net." above.
+  const std::uint64_t retries0 = msgpass::detail::retry_counter().value();
+  const std::uint64_t timeouts0 = msgpass::detail::timeout_counter().value();
 
   const auto record_failure = [&](std::string what) {
     std::scoped_lock lock(fail_mu);
@@ -361,7 +397,18 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
                 std::to_string(counter++ %
                                static_cast<std::uint64_t>(cfg.value_pool));
             const int token = rec.invoke(entry.name, "write", v);
-            reg.write(v);
+            try {
+              reg.write(v);
+            } catch (const registers::WriteAborted&) {
+              // Determinate negative: the owner's recovery fence proved
+              // the value can never be delivered or read, so the pending
+              // invocation is removed from the history (Definition 2
+              // completion). An abort is a survived crash, not an error.
+              rec.abort(token);
+              write_aborts.fetch_add(1, std::memory_order_relaxed);
+              liveness.success(name);
+              continue;
+            }
             rec.respond(token, "done");
             writes.fetch_add(1, std::memory_order_relaxed);
           } else {
@@ -404,49 +451,129 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
     });
   }
 
-  // ----- fault driver: walks the schedule's windows, sequencing park →
-  // impair → heal → release (see file comment), and toggling Byzantine
-  // behavior window by window.
-  std::uint64_t crashes = 0, resyncs = 0;
+  // ----- decoy auditor: reads Byzantine-owned registers from an honest
+  // process into byz_rec; the checker loop feeds the samples through the
+  // byzantine_completion witness construction. Counted in live_workers so
+  // a wedged audit read is caught by the shutdown grace like any worker.
+  std::vector<std::jthread> auditors;
+  if (!decoy_regs.empty()) {
+    const runtime::ProcessId apid = honest.front();
+    live_workers.fetch_add(1, std::memory_order_relaxed);
+    auditors.emplace_back([&, apid](std::stop_token st) {
+      runtime::ThisProcess::Binder bind(apid);
+      const std::string name = "audit@p" + std::to_string(apid);
+      liveness.attach(name);
+      std::size_t i = 0;
+      while (!st.stop_requested() && !stop.load(std::memory_order_relaxed)) {
+        const DecoyEntry& d = decoy_regs[i++ % decoy_regs.size()];
+        try {
+          const int token = byz_rec.invoke(d.name, "read", "");
+          std::string v = d.reg->read();
+          byz_rec.respond(token, std::move(v));
+          byz_reads.fetch_add(1, std::memory_order_relaxed);
+          liveness.success(name);
+        } catch (const std::exception& e) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          liveness.error(name);
+          record_failure("decoy read error on " + d.name + ": " + e.what());
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      }
+      liveness.detach(name);
+      live_workers.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // ----- fault driver: walks the schedule's windows. Parked mode
+  // sequences park → impair → heal → release (see file comment); unparked
+  // mode skips the gate entirely — impairment lands on live clients and
+  // the retry/abort layer carries them (design note 14). Byzantine
+  // behavior toggles window by window in both modes.
+  std::uint64_t crashes = 0, resyncs = 0, partitions = 0;
   std::jthread fault_driver([&](std::stop_token st) {
     if (!cfg.faults.any() && byz.empty()) return;
+    // Loss faults are survivable without parking once retries exist, so
+    // the gate goes up at start and stays up; checkpoint parking still
+    // provides the checker's quiescent cuts.
+    if (cfg.unparked) schedule.engage(true);
     const std::chrono::milliseconds park_timeout(
         std::max<std::uint64_t>(cfg.stall_budget_ms / 2, 1000));
     while (!st.stop_requested()) {
       const std::uint64_t now = schedule.now_ms();
       const std::uint64_t w = schedule.window_at(now);
-      // Byzantine agents act on odd windows — toggled at runtime, as the
-      // schedule requires, and verified off again between windows.
-      byz_on.store(!byz.empty() && (w % 2 == 1), std::memory_order_relaxed);
       const runtime::ProcessId victim = schedule.victim_of(w);
       const bool want_crash = schedule.crash_window(w) && cfg.faults.crash;
-      const bool want_drop = !want_crash && cfg.faults.drop;
-      if (victim != runtime::kNoProcess && (want_crash || want_drop) &&
-          schedule.active_at(now)) {
-        detail::ParkGate& gate = gates[victim];
-        if (gate.engage_park(park_timeout)) {
-          if (want_crash) {
-            space.crash(victim);
-            ++crashes;
-          } else {
-            schedule.engage(true);
-          }
-          // Hold the impairment for the rest of the active phase.
-          const std::uint64_t active_end =
-              w * fcfg.period_ms + fcfg.active_ms;
+      const bool want_part = !want_crash && schedule.partition_window(w);
+      const bool want_drop = !want_crash && !want_part && cfg.faults.drop;
+      const bool impair = victim != runtime::kNoProcess &&
+                          (want_crash || want_part || want_drop);
+      // Byzantine agents act on odd windows — toggled at runtime, as the
+      // schedule requires, and verified off again between windows. In
+      // unparked mode they stay quiet while an HONEST victim is impaired,
+      // keeping the impaired set (crashed ∪ cut ∪ Byzantine) within f.
+      const bool victim_is_byz =
+          std::find(byz.begin(), byz.end(), victim) != byz.end();
+      byz_on.store(!byz.empty() && (w % 2 == 1) &&
+                       !(cfg.unparked && impair && !victim_is_byz),
+                   std::memory_order_relaxed);
+      if (impair && schedule.active_at(now)) {
+        const std::uint64_t active_end = w * fcfg.period_ms + fcfg.active_ms;
+        const auto hold = [&] {
           while (schedule.now_ms() < active_end && !st.stop_requested())
             std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        };
+        const auto cut_event = [&](obs::EventKind kind) {
+          msgpass::detail::record_phase(
+              kind, victim, -1, victim, w,
+              static_cast<std::uint64_t>(schedule.partition_mode(w)));
+        };
+        if (cfg.unparked) {
           if (want_crash) {
-            space.restart(victim);  // runs the quorum resync
+            space.crash(victim);  // its clients' in-flight ops ride retries
+            ++crashes;
+          } else if (want_part) {
+            cut_event(obs::EventKind::kPartitionCut);
+            ++partitions;
+          }
+          hold();
+          if (want_crash) {
+            // restart() resyncs AND runs owner recovery: every write the
+            // crash left in flight is completed or fence-aborted, waking
+            // its (still blocked) client with a definite outcome.
+            space.restart(victim);
             ++resyncs;
           } else {
-            schedule.engage(false);
-            // Heal drop-window staleness with the same recovery path, so
-            // rotating victims never accumulate into >f stale servers.
+            if (want_part) cut_event(obs::EventKind::kPartitionHeal);
             space.resync(victim);
             ++resyncs;
           }
-          gate.release();
+        } else {
+          detail::ParkGate& gate = gates[victim];
+          if (gate.engage_park(park_timeout)) {
+            if (want_crash) {
+              space.crash(victim);
+              ++crashes;
+            } else {
+              schedule.engage(true);
+              if (want_part) {
+                cut_event(obs::EventKind::kPartitionCut);
+                ++partitions;
+              }
+            }
+            hold();
+            if (want_crash) {
+              space.restart(victim);  // runs the quorum resync
+              ++resyncs;
+            } else {
+              schedule.engage(false);
+              if (want_part) cut_event(obs::EventKind::kPartitionHeal);
+              // Heal drop-window staleness with the same recovery path, so
+              // rotating victims never accumulate into >f stale servers.
+              space.resync(victim);
+              ++resyncs;
+            }
+            gate.release();
+          }
         }
       }
       // Sleep to the next window boundary.
@@ -455,6 +582,7 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
       while (schedule.now_ms() < next && !st.stop_requested())
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
+    if (cfg.unparked) schedule.engage(false);
     byz_on.store(false, std::memory_order_relaxed);
   });
 
@@ -498,6 +626,28 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
     for (detail::ParkGate* g : held) g->release();
     return all;
   };
+  // Byzantine-register sampling: decoy reads accumulate into chunks that
+  // go through the witness construction (a chunk of completed reads is a
+  // valid correct-process sub-history; per-chunk checking samples the run
+  // the same way windowing samples the honest history).
+  std::vector<lincheck::Operation> byz_samples;
+  std::uint64_t byz_checks = 0, byz_failures = 0;
+  const auto byz_check = [&](bool flush) {
+    if (decoy_regs.empty()) return;
+    for (lincheck::Operation& op : byz_rec.drain_completed())
+      byz_samples.push_back(std::move(op));
+    if (byz_samples.empty() || (!flush && byz_samples.size() < 256)) return;
+    const lincheck::ByzantineCheckResult res =
+        lincheck::check_byzantine_authenticated(byz_samples, "0");
+    ++byz_checks;
+    if (!res.byzantine_linearizable &&
+        res.verdict == lincheck::Verdict::kViolation) {
+      ++byz_failures;
+      record_failure("byzantine sample (" + std::to_string(byz_samples.size()) +
+                     " decoy reads) not byzantine-linearizable: " + res.reason);
+    }
+    byz_samples.clear();
+  };
   auto next_checkpoint =
       t_start + std::chrono::milliseconds(cfg.checkpoint_ms);
   while (Clock::now() < deadline) {
@@ -510,6 +660,7 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
       checker.feed(rec.drain());
     }
     handle_verdicts(checker.poll());
+    byz_check(false);
     liveness.check();
   }
 
@@ -541,6 +692,10 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
       std::cerr << "  p" << op.pid << " " << op.name << "(" << op.object
                 << (op.arg.empty() ? "" : ", " + op.arg) << ") invoked at ts "
                 << op.invoke_ts << ", never responded\n";
+    for (const auto& op : byz_rec.pending_snapshot())
+      std::cerr << "  p" << op.pid << " " << op.name << "(" << op.object
+                << ") [decoy audit] invoked at ts " << op.invoke_ts
+                << ", never responded\n";
     // Flight-recorder forensics: which ladder stalled, and on which rung.
     const std::vector<obs::Event> events =
         obs::FlightRecorder::instance().snapshot();
@@ -552,11 +707,13 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
     std::_Exit(3);
   }
   workers.clear();
+  auditors.clear();
   for (auto& t : byz_agents) t.request_stop();
   byz_agents.clear();
 
   checker.feed(rec.drain());
   handle_verdicts(checker.finish());
+  byz_check(/*flush=*/true);
   const LivenessMonitor::Report live = liveness.check();
   detail::set_injector(space, nullptr);
 
@@ -577,6 +734,13 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
   m.messages_delayed = delayed;
   m.crashes = crashes;
   m.resyncs = resyncs;
+  m.partitions = partitions;
+  m.op_retries = msgpass::detail::retry_counter().value() - retries0;
+  m.op_timeouts = msgpass::detail::timeout_counter().value() - timeouts0;
+  m.write_aborts = write_aborts.load();
+  m.byz_reads = byz_reads.load();
+  m.byz_checks = byz_checks;
+  m.byz_failures = byz_failures;
   m.read_p50_us = read_hist.p50();
   m.read_p99_us = read_hist.p99();
   m.write_p50_us = write_hist.p50();

@@ -33,9 +33,27 @@ using swsig::soak::SoakOutcome;
   std::cerr
       << "usage: " << argv0 << " [options]\n"
       << "  --duration SECONDS   wall-clock budget per substrate (default 60)\n"
-      << "  --faults SPEC        '+'-separated: drop, delay, reorder, crash\n"
-      << "                       (default drop+delay; 'none' disables)\n"
-      << "  --byzantine K        Byzantine processes, <= f (default 0)\n"
+      << "  --faults SPEC        '+'-separated fault schedule (default\n"
+      << "                       drop+delay; 'none' disables). Kinds:\n"
+      << "                         drop       victim-targeted message loss\n"
+      << "                         delay      bounded hold of any message\n"
+      << "                         reorder    receive-side reordering\n"
+      << "                         crash      crash+restart the window's\n"
+      << "                                    victim (owner recovery runs\n"
+      << "                                    on restart)\n"
+      << "                         partition  cut the victim's links for\n"
+      << "                                    the active phase — symmetric\n"
+      << "                                    or asymmetric per seeded\n"
+      << "                                    window — healed at window end\n"
+      << "                       Unknown kinds are rejected with the valid\n"
+      << "                       list (no silent typos).\n"
+      << "  --unparked           fault windows hit ACTIVE clients (owner\n"
+      << "                       crashes mid-write included); the\n"
+      << "                       retry/abort layer must carry them.\n"
+      << "                       Default parks a victim's clients first.\n"
+      << "  --byzantine K        Byzantine processes, <= f (default 0);\n"
+      << "                       their decoy registers are sampled through\n"
+      << "                       the byzantine_completion checker\n"
       << "  --substrate S        emulated | batched | both (default both)\n"
       << "  --n N --f F          system size (default 4/1, n > 3f)\n"
       << "  --registers R        honest registers (default 2048)\n"
@@ -50,7 +68,8 @@ SoakOutcome run_one(const SoakConfig& cfg, swsig::bench::Reporter& rep) {
             << " registers=" << cfg.registers << " clients=" << cfg.clients
             << " faults=" << cfg.faults.to_string()
             << " byzantine=" << cfg.byzantine << " seed=" << cfg.seed
-            << " duration=" << cfg.duration_ms / 1000 << "s" << std::endl;
+            << " duration=" << cfg.duration_ms / 1000 << "s"
+            << (cfg.unparked ? " unparked" : "") << std::endl;
   SoakOutcome out;
   if (cfg.substrate == "emulated") {
     swsig::msgpass::EmulatedSpace space(
@@ -102,6 +121,8 @@ int main(int argc, char** argv) {
         cfg.duration_ms = std::stoull(value()) * 1000;
       } else if (arg == "--faults") {
         cfg.faults = FaultKinds::parse(value());
+      } else if (arg == "--unparked") {
+        cfg.unparked = true;
       } else if (arg == "--byzantine") {
         cfg.byzantine = std::stoi(value());
       } else if (arg == "--substrate") {

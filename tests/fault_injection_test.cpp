@@ -137,14 +137,106 @@ TEST(FaultSchedule, DropsRequireTheEngagedGate) {
 TEST(FaultKindsGrammar, ParseAndRoundTrip) {
   EXPECT_FALSE(FaultKinds::parse("none").any());
   EXPECT_FALSE(FaultKinds::parse("").any());
-  const FaultKinds k = FaultKinds::parse("drop+delay+reorder+crash");
-  EXPECT_TRUE(k.drop && k.delay && k.reorder && k.crash);
-  EXPECT_EQ(k.to_string(), "drop+delay+reorder+crash");
+  const FaultKinds k = FaultKinds::parse("drop+delay+reorder+crash+partition");
+  EXPECT_TRUE(k.drop && k.delay && k.reorder && k.crash && k.partition);
+  EXPECT_EQ(k.to_string(), "drop+delay+reorder+crash+partition");
   EXPECT_EQ(FaultKinds::parse("delay+crash").to_string(), "delay+crash");
+  EXPECT_EQ(FaultKinds::parse("drop+partition").to_string(),
+            "drop+partition");
   EXPECT_TRUE(FaultKinds::parse("crash").impairing());
+  EXPECT_TRUE(FaultKinds::parse("partition").impairing());
   EXPECT_FALSE(FaultKinds::parse("delay+reorder").impairing());
   EXPECT_THROW(FaultKinds::parse("drop+lag"), std::invalid_argument);
   EXPECT_THROW(FaultKinds::parse("dropdelay"), std::invalid_argument);
+}
+
+// A typo is self-diagnosing: the error names the offending token AND the
+// full list of valid kinds.
+TEST(FaultKindsGrammar, UnknownKindErrorListsValidKinds) {
+  try {
+    FaultKinds::parse("drop+dorp");
+    FAIL() << "parse accepted a typo";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dorp"), std::string::npos) << what;
+    EXPECT_NE(what.find("valid: drop, delay, reorder, crash, partition, none"),
+              std::string::npos)
+        << what;
+  }
+}
+
+// Partition decisions are seeded and pure: the cut follows the window's
+// mode exactly (inbound / outbound / symmetric), never touches bystander
+// links or self-delivery, and all three directions occur over a long run.
+TEST(FaultSchedule, PartitionCutsFollowTheSeededMode) {
+  FaultSchedule s({.seed = 21,
+                   .kinds = FaultKinds::parse("partition"),
+                   .victims = {4},
+                   .period_ms = 100,
+                   .active_ms = 100});
+  bool saw[3] = {false, false, false};
+  for (std::uint64_t w = 0; w < 64; ++w) {
+    ASSERT_TRUE(s.partition_window(w));  // no drop scheduled: every window
+    const PartitionMode mode = s.partition_mode(w);
+    saw[static_cast<int>(mode)] = true;
+    const std::uint64_t t = w * 100 + 10;
+    EXPECT_EQ(s.decide(t, make_message("ECHO", 2, 4, 1, 0)).drop,
+              mode != PartitionMode::kOutbound)
+        << "window " << w;
+    EXPECT_EQ(s.decide(t, make_message("ECHO", 4, 2, 1, 0)).drop,
+              mode != PartitionMode::kInbound)
+        << "window " << w;
+    EXPECT_FALSE(s.decide(t, make_message("ECHO", 2, 3, 1, 0)).drop);
+    EXPECT_FALSE(s.decide(t, make_message("ECHO", 4, 4, 1, 0)).drop)
+        << "self-delivery must never be cut";
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2]);
+}
+
+// With drop also scheduled the two loss shapes alternate on a seeded coin,
+// and crash windows take precedence over both.
+TEST(FaultSchedule, PartitionAlternatesWithDropAndYieldsToCrash) {
+  FaultSchedule s({.seed = 33,
+                   .kinds = FaultKinds::parse("drop+crash+partition"),
+                   .victims = {4},
+                   .period_ms = 100,
+                   .active_ms = 100,
+                   .crash_every = 4});
+  bool part = false, plain = false;
+  for (std::uint64_t w = 0; w < 64; ++w) {
+    if (s.crash_window(w)) {
+      EXPECT_FALSE(s.partition_window(w)) << "window " << w;
+      continue;
+    }
+    (s.partition_window(w) ? part : plain) = true;
+  }
+  EXPECT_TRUE(part);
+  EXPECT_TRUE(plain);
+}
+
+// End-to-end partition: 100% loss on the victim's cut links, yet the
+// quorums of the other n-1 processes complete untouched, and the post-heal
+// resync brings the victim current whatever the cut direction was.
+TEST(FaultInjection, PartitionHealsAndVictimCatchesUp) {
+  msgpass::EmulatedSpace space({.n = 4, .f = 1});
+  auto& r1 = space.make_swmr<int>(1, 0, "r1");
+  FaultSchedule sched({.seed = 17,
+                       .kinds = FaultKinds::parse("partition"),
+                       .victims = {4},
+                       .period_ms = 1000000,
+                       .active_ms = 1000000});
+  space.network().set_fault_injector(&sched);
+  sched.engage(true);
+  for (int i = 1; i <= 10; ++i) {
+    ThisProcess::Binder bind(1);
+    r1.write(i);
+    EXPECT_EQ(r1.read(), i);
+  }
+  sched.engage(false);
+  space.resync(4);
+  EXPECT_EQ(r1.stored_state(4).second, 10);
+  space.network().set_fault_injector(nullptr);
+  space.stop();
 }
 
 // The f-budget contract, emulated substrate: with EVERY message touching

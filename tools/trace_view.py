@@ -41,6 +41,12 @@ PHASE_ORDER = [
 OPEN_KINDS = ("write_start", "round_lead")
 CLOSE_KINDS = ("write_done", "round_complete")
 PHASE_KINDS = set(PHASE_ORDER)
+# Retry-layer events ride their op's (reg, origin, sn) key and are shown
+# inside the ladder timeline, but are not protocol rungs.
+EXTRA_KINDS = {"op_retry", "op_timeout", "write_abort"}
+TIMELINE_KINDS = PHASE_KINDS | EXTRA_KINDS
+# Partition events carry the cut direction in aux (soak::PartitionMode).
+PARTITION_MODES = {0: "symmetric", 1: "inbound", 2: "outbound"}
 
 
 def parse_trace(lines):
@@ -78,24 +84,34 @@ def parse_trace(lines):
 
 
 def ladders_of(events):
-    """Groups phase events by (reg, origin, sn) ladder key, preserving
-    event order within each ladder."""
+    """Groups timeline events by (reg, origin, sn) ladder key, preserving
+    event order within each ladder. Groups holding only retry-layer events
+    (e.g. read retries keyed by rid, never a rung) are dropped — they show
+    up in the non-ladder summary instead."""
     ladders = {}
     for e in events:
-        if e["kind"] not in PHASE_KINDS:
+        if e["kind"] not in TIMELINE_KINDS:
             continue
         key = (e["reg"], e["origin"], e["sn"])
         ladders.setdefault(key, []).append(e)
-    return ladders
+    return {k: v for k, v in ladders.items()
+            if any(e["kind"] in PHASE_KINDS for e in v)}
 
 
 def last_phase(ladder_events):
     """Highest rung any process completed, by PHASE_ORDER."""
     best = -1
     for e in ladder_events:
+        if e["kind"] not in PHASE_KINDS:
+            continue
         rank = PHASE_ORDER.index(e["kind"])
         best = max(best, rank)
     return PHASE_ORDER[best] if best >= 0 else "none"
+
+
+def is_aborted(ladder_events):
+    """The owner's recovery fence finalized this write as aborted."""
+    return any(e["kind"] == "write_abort" for e in ladder_events)
 
 
 def is_stalled(ladder_events):
@@ -103,16 +119,21 @@ def is_stalled(ladder_events):
     opened = bool(kinds & set(OPEN_KINDS)) or "echo" in kinds
     closed = bool(kinds & set(CLOSE_KINDS))
     delivered = "deliver" in kinds
-    return opened and not closed and not delivered
+    aborted = "write_abort" in kinds
+    return opened and not closed and not delivered and not aborted
 
 
 def render_ladder(key, ladder_events, out):
     reg, origin, sn = key
-    stalled = is_stalled(ladder_events)
     t0 = ladder_events[0]["ts_us"]
     span = ladder_events[-1]["ts_us"] - t0
     head = f"ladder reg={reg} origin=p{origin} sn={sn}"
-    status = "STALLED" if stalled else "ok"
+    if is_aborted(ladder_events):
+        status = "ABORTED"
+    elif is_stalled(ladder_events):
+        status = "STALLED"
+    else:
+        status = "ok"
     print(f"{head}: last phase {last_phase(ladder_events)} "
           f"[{status}] ({len(ladder_events)} events, {span:.1f} us)", file=out)
     for e in sorted(ladder_events, key=lambda e: e["ts_us"]):
@@ -127,7 +148,9 @@ def summarize_other(events, out):
         if e["kind"] in PHASE_KINDS:
             continue
         label = e["kind"]
-        if e["tag"] != "OTHER":
+        if e["kind"] in ("partition_cut", "partition_heal"):
+            label += f".{PARTITION_MODES.get(e['aux'], '?')}"
+        elif e["tag"] != "OTHER":
             label += f".{e['tag']}"
         counts[label] = counts.get(label, 0) + 1
     if counts:
@@ -143,8 +166,10 @@ def render(events, out, reg=None, origin=None, last=None):
         keys = [k for k in keys if k[0] == reg]
     if origin is not None:
         keys = [k for k in keys if k[1] == origin]
-    # Stalled ladders first (oldest first), then the rest by first event.
-    keys.sort(key=lambda k: (not is_stalled(ladders[k]),
+    # Ladders needing attention first — stalled AND aborted, oldest first —
+    # then the rest by first event.
+    keys.sort(key=lambda k: (not (is_stalled(ladders[k]) or
+                                  is_aborted(ladders[k])),
                              ladders[k][0]["ts_us"]))
     if last is not None:
         keys = keys[:last]
@@ -173,6 +198,12 @@ EV 23.0 2 deliver OTHER 8 1 43 5 0
 EV 24.0 2 ack OTHER 8 1 43 0 0
 EV 25.0 1 write_done OTHER 8 1 43 900 0
 EV 30.0 4 crash OTHER -1 4 0 0 0
+EV 40.0 1 write_start OTHER 9 1 44 0 0
+EV 41.0 1 op_retry OTHER 9 1 44 40 0
+EV 42.0 1 write_abort OTHER 9 1 44 0 0
+EV 50.0 2 op_retry OTHER 7 1 999 80 0
+EV 51.0 4 partition_cut OTHER -1 4 12 1 0
+EV 52.0 4 partition_heal OTHER -1 4 12 1 0
 this line is garbage
 EV bad 1 echo OTHER 1 1 1 0 0
 """
@@ -189,33 +220,48 @@ def run_self_test():
         print(f"self-test: {'ok  ' if cond else 'FAIL'} {name}")
 
     events, warnings = parse_trace(SAMPLE.splitlines())
-    check("parses well-formed events", len(events) == 12)
-    check("warns on malformed lines", len(warnings) == 1)  # garbage line
-    # ("EV bad ..." has 10 fields but a bad float -> also a warning)
-    check("warns on bad numeric field",
-          any("line 15" in w for w in warnings) or len(warnings) >= 1)
+    check("parses well-formed events", len(events) == 18)
+    # The prose garbage line is silently skipped (not an EV record); the
+    # "EV bad ..." line has 10 fields but a bad float -> one warning.
+    check("warns on bad numeric field", len(warnings) == 1)
 
     ladders = ladders_of(events)
-    check("two ladders found", len(ladders) == 2)
+    check("three ladders found", len(ladders) == 3)
     stalled_key = (7, 1, 42)
     done_key = (8, 1, 43)
+    aborted_key = (9, 1, 44)
     check("stalled ladder detected", is_stalled(ladders[stalled_key]))
     check("completed ladder not stalled", not is_stalled(ladders[done_key]))
+    check("aborted ladder detected", is_aborted(ladders[aborted_key]))
+    check("aborted ladder is not counted stalled",
+          not is_stalled(ladders[aborted_key]))
     check("stalled last phase is accept",
           last_phase(ladders[stalled_key]) == "accept")
     check("completed last phase is write_done",
           last_phase(ladders[done_key]) == "write_done")
+    check("retry events do not advance the rung",
+          last_phase(ladders[aborted_key]) == "write_start")
+    check("rungless retry group is not a ladder", (7, 1, 999) not in ladders)
 
     out = io.StringIO()
     stalled = render(events, out)
     text = out.getvalue()
     check("render names the stalled key", "reg=7 origin=p1 sn=42" in text)
     check("render flags STALLED", "STALLED" in text)
+    check("render flags ABORTED", "ABORTED" in text)
     check("render counts one stalled ladder", stalled == 1)
     check("stalled ladder renders before completed one",
           text.index("sn=42") < text.index("sn=43"))
+    check("aborted ladder renders before completed one",
+          text.index("sn=44") < text.index("sn=43"))
+    check("retry shows inside the aborted ladder timeline",
+          "op_retry aux=40" in text)
     check("non-ladder summary includes send.WRITE", "send.WRITE: 1" in text)
     check("non-ladder summary includes crash", "crash: 1" in text)
+    check("non-ladder summary counts retries", "op_retry: 2" in text)
+    check("partition events carry the cut direction",
+          "partition_cut.inbound: 1" in text and
+          "partition_heal.inbound: 1" in text)
 
     # Filters.
     out = io.StringIO()
