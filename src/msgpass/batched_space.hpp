@@ -36,8 +36,12 @@
 // round delivery harmless. One invariant does NOT lift for free: the
 // unbatched echo-once-per-sn rule also made values unique per register sn,
 // and rounds are independent candidate keys — so servers additionally
-// echo-support each (reg, sn) op at most once ACROSS rounds (echoed_ops
-// below). Without that, a Byzantine owner could certify two values for the
+// echo-support each (reg, sn) op at most once ACROSS rounds. The state
+// machine enforcing all of this — tallies, replay guard, cross-round op
+// claims — is detail::BrachaLadder<(origin, round)> (bracha_ladder.hpp),
+// the SAME code the per-write substrate runs; this file keeps only the
+// batching policy around it. Without the cross-round claim, a Byzantine
+// owner could certify two values for the
 // same register sn via two rounds, splitting correct servers' stored state
 // and livelocking honest quorum reads. Batching only ever *groups* writes of a single
 // owner; it never reorders them (rounds are led FIFO, one in flight per
@@ -63,6 +67,7 @@
 #include <utility>
 #include <vector>
 
+#include "msgpass/detail/bracha_ladder.hpp"
 #include "msgpass/message.hpp"
 #include "msgpass/network.hpp"
 #include "msgpass/server_pool.hpp"
@@ -110,14 +115,22 @@ class BatchShard {
   // register; they use this sentinel in Message::reg.
   static constexpr int kBatchProto = -1;
 
+  // The candidate key of one ladder run is (origin, round); the cross-run
+  // op-dedup key is (reg, sn) — structurally the same pair, semantically
+  // distinct (see bracha_ladder.hpp for why both guards live in the one
+  // ladder, shared with the per-write substrate).
+  using RoundKey = std::pair<int, std::uint64_t>;
+  using Ladder = detail::BrachaLadder<RoundKey, RoundKey>;
+
   BatchShard(int n, int f, std::uint64_t reorder_seed, int batch_max,
-             RetryPolicy retry = {})
+             RetryPolicy retry = {}, int pipeline_depth = 1)
       : n_(n),
         f_(f),
         batch_max_(batch_max),
+        pipeline_depth_(std::max(pipeline_depth, 1)),
         retry_(retry),
         net_(Network::Options{n, reorder_seed}),
-        state_(static_cast<std::size_t>(n) + 1),
+        state_(static_cast<std::size_t>(n) + 1, Ladder(n, f)),
         crashed_(static_cast<std::size_t>(n) + 1),
         writers_(static_cast<std::size_t>(n) + 1),
         pool_(net_, n, [this](int self, const Message& m) { handle(self, m); }) {
@@ -131,18 +144,19 @@ class BatchShard {
 
   // Crash model, shard side: while crashed, pid's server thread drops every
   // message (neither receives nor sends), and its in-progress round tallies
-  // are wiped. The echoed / echoed_ops / delivered dedup sets persist —
-  // stable storage, same rationale as EmulatedSwmr::crash_process (without
-  // it a rejoined server could echo-support an sn twice across rounds,
-  // reopening the equivocation vector the sets exist to close). Register
-  // stored state is wiped by the Space via BatchRegOps::crash_process.
+  // are wiped (BrachaLadder::crash). The ladder's echoed / claimed /
+  // delivered dedup sets persist — stable storage, same rationale as
+  // EmulatedSwmr::crash_process (without them a rejoined server could
+  // echo-support an sn twice across rounds, reopening the equivocation
+  // vector the sets exist to close). Register stored state is wiped by the
+  // Space via BatchRegOps::crash_process.
   void crash(runtime::ProcessId pid) {
     crashed_[static_cast<std::size_t>(pid)].store(true,
                                                   std::memory_order_release);
     net_.set_squelched(pid, true);
     {
       std::scoped_lock lock(mu_);
-      state_[static_cast<std::size_t>(pid)].cands.clear();
+      state_[static_cast<std::size_t>(pid)].crash();
     }
     // Suspend pid's client role too: a round it was leading loses its
     // driver, so waiting writer threads park (no retries) until restart.
@@ -204,8 +218,26 @@ class BatchShard {
     std::unique_lock lock(ws.mu);
     const std::uint64_t ticket = ++ws.last_ticket;
     ws.pending.push_back(Pending{ticket, BatchOp{reg_id, sn, std::move(value)}});
-    maybe_lead(ws, lock);
+    // Group-commit gate (design note 15): a depth-D pipelined client issues
+    // up to D overlapping ops before blocking in await, so leading on the
+    // first enqueue burns a whole quorum round on a 1-op batch and halves
+    // the achievable amortization. Lead once the owner's outstanding window
+    // is full; await() flushes partial windows immediately, so nothing
+    // waits on a timer. Depth 1 (the default) leads on every submit — the
+    // pre-pipeline behavior, message for message.
+    if (static_cast<int>(ws.last_ticket - ws.completed_ticket) >=
+        pipeline_depth_)
+      maybe_lead(ws, lock);
     return ticket;
+  }
+
+  // Ops of `owner` currently unsettled on this shard (queued plus riding
+  // the in-flight round) — the pipeline slot the register stamps on the
+  // next submit's kWriteStart event, mirroring the unbatched substrate.
+  int pending_depth(runtime::ProcessId owner) {
+    WriterState& ws = writers_[static_cast<std::size_t>(owner)];
+    std::scoped_lock lock(ws.mu);
+    return static_cast<int>(ws.last_ticket - ws.completed_ticket);
   }
 
   // Blocks until `ticket` (from submit for the same owner) has completed,
@@ -228,6 +260,13 @@ class BatchShard {
     std::uint64_t backoff = std::max<std::uint64_t>(retry_.base_ms, 1);
     for (;;) {
       if (done()) return;
+      // Flush a partial pipeline window: with the group-commit gate above,
+      // ops short of the depth threshold sit queued until someone awaits
+      // them — that someone is here, so lead before sleeping.
+      if (!ws.in_flight && !ws.pending.empty()) {
+        maybe_lead(ws, lock);
+        continue;
+      }
       if (!retry_.enabled) {
         if (retry_.op_timeout_ms > 0) {
           if (!ws.cv.wait_until(lock, op_deadline, done)) {
@@ -315,32 +354,6 @@ class BatchShard {
     std::set<int> backs;
   };
 
-  struct RoundCand {
-    int digest = 0;
-    std::set<int> echoes;
-    std::set<int> accepts;
-    bool sent_accept = false;
-  };
-  struct ServerState {
-    // (origin, round) echoed at most once — the non-equivocation guard.
-    // Maps to the digest voted for (-1 = refused as malformed), so a
-    // duplicate (retried) BWRITE re-issues the ORIGINAL vote instead of
-    // being able to recruit support for anything new.
-    std::map<std::pair<int, std::uint64_t>, int> echoed;
-    // (reg, sn) ops echo-supported so far, across ALL rounds — the batched
-    // analogue of the unbatched echo-once-per-sn rule. Honest owners never
-    // reuse a register sn (allocate_sn_locked is strictly increasing), so
-    // only a Byzantine origin's batches ever hit this; refusing them keeps
-    // values unique per (reg, sn): at most one value can gather n−f echoes.
-    std::set<std::pair<int, std::uint64_t>> echoed_ops;
-    // Delivered rounds (persists, like echoed): votes for a delivered
-    // (origin, round) are ignored, so Byzantine BACCEPT replays after the
-    // candidate map is pruned cannot re-assemble a quorum and re-trigger
-    // the amplification + BACK storm.
-    std::set<std::pair<int, std::uint64_t>> delivered;
-    std::map<std::pair<int, std::uint64_t>, std::vector<RoundCand>> cands;
-  };
-
   // Caller holds ws.mu (passed as `lock`); releases it around the BWRITE
   // broadcast. Requires the calling thread bound as the owner.
   void maybe_lead(WriterState& ws, std::unique_lock<std::mutex>& lock) {
@@ -407,28 +420,31 @@ class BatchShard {
     }
   }
 
-  // Interns a raw batch under mu_ for server `st`. Returns the digest id,
-  // or -1 when the batch is malformed: empty, oversized, an unknown
-  // register, an op for a register the origin does not own (a Byzantine
-  // process smuggling writes into someone else's round), a (reg, sn) this
-  // server already echo-supported — within this batch or in any earlier
-  // round (cross-round sn reuse, the equivocation vector rounds reopen) —
-  // or an ill-typed value. Lookup is O(log R) via digest_index_ — the
-  // digest table itself is the content-addressed log of all rounds and is
-  // the only state that grows with history (in a real system it is simply
-  // the message payloads).
-  int intern_batch(ServerState& st, int origin, const Batch& raw) {
+  // Interns a raw batch under mu_ for server ladder `lad`. Returns the
+  // digest id, or -1 when the batch is malformed: empty, oversized, an
+  // unknown register, an op for a register the origin does not own (a
+  // Byzantine process smuggling writes into someone else's round), a
+  // (reg, sn) this server already echo-supported — within this batch or in
+  // any earlier round (cross-round sn reuse, the equivocation vector rounds
+  // reopen; BrachaLadder::op_claimed). Honest owners never reuse a register
+  // sn (allocate_sn_locked is strictly increasing), so only a Byzantine
+  // origin's batches ever trip the claim check; refusing them keeps values
+  // unique per (reg, sn): at most one value can gather n−f echoes. Lookup
+  // is O(log R) via digest_index_ — the digest table itself is the
+  // content-addressed log of all rounds and is the only state that grows
+  // with history (in a real system it is simply the message payloads).
+  int intern_batch(Ladder& lad, int origin, const Batch& raw) {
     if (raw.empty() || static_cast<int>(raw.size()) > batch_max_) return -1;
     CanonicalBatch canon;
     canon.reserve(raw.size());
-    std::set<std::pair<int, std::uint64_t>> batch_ops;
+    std::set<RoundKey> batch_ops;
     for (const BatchOp& op : raw) {
       const auto it = registry_.find(op.reg);
       if (it == registry_.end()) return -1;
       if (it->second->reg_owner() != origin) return -1;
-      const std::pair<int, std::uint64_t> key{op.reg, op.sn};
-      if (!batch_ops.insert(key).second) return -1;    // sn reused in batch
-      if (st.echoed_ops.contains(key)) return -1;      // sn reused across rounds
+      const RoundKey key{op.reg, op.sn};
+      if (!batch_ops.insert(key).second) return -1;  // sn reused in batch
+      if (lad.op_claimed(key)) return -1;  // sn reused across rounds
       int vid;
       try {
         vid = it->second->intern_any(op.value);
@@ -439,104 +455,83 @@ class BatchShard {
     }
     // The whole batch is valid: this server now echo-supports each of its
     // ops, exactly once, forever.
-    st.echoed_ops.insert(batch_ops.begin(), batch_ops.end());
+    for (const RoundKey& key : batch_ops) lad.claim_op(key);
     const auto [it, inserted] = digest_index_.try_emplace(
         canon, static_cast<int>(digests_.size()));
     if (inserted) digests_.push_back(std::move(canon));
     return it->second;
   }
 
-  RoundCand& candidate(ServerState& st, std::pair<int, std::uint64_t> key,
-                       int digest) {
-    for (RoundCand& c : st.cands[key])
-      if (c.digest == digest) return c;
-    st.cands[key].push_back(RoundCand{digest, {}, {}, false});
-    return st.cands[key].back();
-  }
-
   void on_bwrite(int self, const Message& m) {
     const int origin = m.from;  // authenticated by the network
-    std::unique_lock lock(mu_);
-    ServerState& st = state_[static_cast<std::size_t>(self)];
-    const std::pair<int, std::uint64_t> key{origin, m.sn};
-    if (st.delivered.contains(key)) {
-      // Retried round already delivered here: the only effect left is
-      // refreshing the (possibly lost) BACK. Origins dedup by sender.
-      lock.unlock();
-      Message back;
-      back.reg = kBatchProto;
-      back.type = "BACK";
-      back.sn = m.sn;
-      back.to = origin;
-      net_.send(back);
-      return;
+    Ladder::WriteStep step;
+    {
+      std::scoped_lock lock(mu_);
+      Ladder& lad = state_[static_cast<std::size_t>(self)];
+      // Recovery on this substrate is complete-only (see recover()), so no
+      // round is ever abort-fenced: complete stays false.
+      step = lad.on_write(RoundKey{origin, m.sn}, /*complete=*/false, [&] {
+        return intern_batch(lad, origin,
+                            std::any_cast<const Batch&>(m.payload));
+      });
     }
-    int digest;
-    const auto eit = st.echoed.find(key);
-    if (eit != st.echoed.end()) {
-      digest = eit->second;      // echo once: re-issue the original vote
-      if (digest < 0) return;    // refused as malformed: stays refused
-      lock.unlock();
-      vote("BECHO", origin, m.sn, digest);
-      return;
+    switch (step.action) {
+      case Ladder::WriteAction::kReAck: {
+        // Retried round already delivered here: the only effect left is
+        // refreshing the (possibly lost) BACK. Origins dedup by sender.
+        Message back;
+        back.reg = kBatchProto;
+        back.type = "BACK";
+        back.sn = m.sn;
+        back.to = origin;
+        net_.send(back);
+        return;
+      }
+      case Ladder::WriteAction::kFenced:   // unreachable: never fenced
+      case Ladder::WriteAction::kRefused:  // malformed: stays refused
+        return;
+      case Ladder::WriteAction::kEcho:
+        break;  // first == false: echo once, re-issue of the original vote
     }
-    digest = intern_batch(st, origin, std::any_cast<const Batch&>(m.payload));
-    st.echoed.emplace(key, digest);
-    if (digest < 0) return;
-    lock.unlock();
-    detail::record_phase(obs::EventKind::kPhaseEcho, self, kBatchProto,
-                         origin, m.sn, static_cast<std::uint64_t>(digest));
-    vote("BECHO", origin, m.sn, digest);
+    if (step.first)
+      detail::record_phase(obs::EventKind::kPhaseEcho, self, kBatchProto,
+                           origin, m.sn,
+                           static_cast<std::uint64_t>(step.value_id));
+    vote("BECHO", origin, m.sn, step.value_id);
   }
 
   void on_vote(int self, const Message& m, bool is_echo) {
     const auto& [origin, digest] =
         std::any_cast<const std::pair<int, int>&>(m.payload);
     if (origin < 1 || origin > n_) return;  // forged origin
-    std::unique_lock lock(mu_);
-    // A digest id outside the interned table can only come from a
-    // Byzantine sender (correct processes vote for digests they interned).
-    if (digest < 0 || digest >= static_cast<int>(digests_.size())) return;
-    ServerState& st = state_[static_cast<std::size_t>(self)];
-    if (st.delivered.contains({origin, m.sn})) return;  // post-delivery vote
-    RoundCand& c = candidate(st, {origin, m.sn}, digest);
-    (is_echo ? c.echoes : c.accepts).insert(m.from);
-    bool send_accept = false;
-    bool amplified = false;
-    bool deliver = false;
-    if (!c.sent_accept &&
-        (static_cast<int>(c.echoes.size()) >= n_ - f_ ||
-         static_cast<int>(c.accepts.size()) >= f_ + 1)) {
-      c.sent_accept = true;
-      send_accept = true;
-      amplified = static_cast<int>(c.echoes.size()) < n_ - f_;
-    }
-    if (static_cast<int>(c.accepts.size()) >= n_ - f_) {
-      deliver = true;
-      for (const auto& [reg_id, sn, vid] : digests_[static_cast<std::size_t>(digest)]) {
-        const auto it = registry_.find(reg_id);
-        if (it != registry_.end()) it->second->apply(self, sn, vid);
-        // Per-op deliver event under the op's own (reg, origin, sn) key so
-        // register-level ladder correlation spans both substrates.
-        detail::record_phase(obs::EventKind::kPhaseDeliver, self, reg_id,
-                             origin, sn, static_cast<std::uint64_t>(vid));
+    Ladder::VoteStep step;
+    {
+      std::scoped_lock lock(mu_);
+      // A digest id outside the interned table can only come from a
+      // Byzantine sender (correct processes vote for digests they interned).
+      if (digest < 0 || digest >= static_cast<int>(digests_.size())) return;
+      step = state_[static_cast<std::size_t>(self)].on_vote(
+          RoundKey{origin, m.sn}, digest, m.from, is_echo);
+      if (step.deliver) {
+        for (const auto& [reg_id, sn, vid] :
+             digests_[static_cast<std::size_t>(digest)]) {
+          const auto it = registry_.find(reg_id);
+          if (it != registry_.end()) it->second->apply(self, sn, vid);
+          // Per-op deliver event under the op's own (reg, origin, sn) key so
+          // register-level ladder correlation spans both substrates.
+          detail::record_phase(obs::EventKind::kPhaseDeliver, self, reg_id,
+                               origin, sn, static_cast<std::uint64_t>(vid));
+        }
       }
-      // Prune the per-round tallies (c is dangling beyond this point);
-      // the `delivered` set keeps post-delivery votes from resurrecting
-      // them, and a hypothetical re-delivery would in any case be absorbed
-      // by the sn-monotone apply.
-      st.delivered.insert({origin, m.sn});
-      st.cands.erase({origin, m.sn});
     }
-    lock.unlock();
-    if (send_accept) {
-      detail::record_phase(amplified ? obs::EventKind::kPhaseAmplify
-                                     : obs::EventKind::kPhaseAccept,
+    if (step.send_accept) {
+      detail::record_phase(step.amplified ? obs::EventKind::kPhaseAmplify
+                                          : obs::EventKind::kPhaseAccept,
                            self, kBatchProto, origin, m.sn,
                            static_cast<std::uint64_t>(digest));
       vote("BACCEPT", origin, m.sn, digest);
     }
-    if (deliver) {
+    if (step.deliver) {
       detail::record_phase(obs::EventKind::kPhaseAck, self, kBatchProto,
                            origin, m.sn);
       Message back;
@@ -577,11 +572,12 @@ class BatchShard {
   const int n_;
   const int f_;
   const int batch_max_;
+  const int pipeline_depth_;  // submit's group-commit threshold (>= 1)
   const RetryPolicy retry_;
   Network net_;
   std::mutex mu_;  // protocol state: registry_, state_, digests_
   std::map<int, detail::BatchRegOps*> registry_;
-  std::vector<ServerState> state_;       // per process
+  std::vector<Ladder> state_;            // per-process protocol ladder
   std::vector<std::atomic<bool>> crashed_;  // index by pid
   std::vector<CanonicalBatch> digests_;  // interned batches, id = index
   std::map<CanonicalBatch, int> digest_index_;  // canon -> id, O(log R)
@@ -692,8 +688,10 @@ class BatchedSwmr : public detail::BatchRegOps, public detail::SwmrCore<T> {
   // op to the shard. Caller holds writer_mu_.
   std::uint64_t submit_locked(T v) {
     const std::uint64_t sn = this->allocate_sn_locked(v);
-    detail::record_phase(obs::EventKind::kWriteStart, this->owner_,
-                         this->reg_id_, this->owner_, sn);
+    detail::record_phase(
+        obs::EventKind::kWriteStart, this->owner_, this->reg_id_,
+        this->owner_, sn,
+        static_cast<std::uint64_t>(shard_->pending_depth(this->owner_)));
     std::any payload(std::move(v));
     return shard_->submit(this->owner_, this->reg_id_, sn, std::move(payload));
   }
@@ -735,6 +733,11 @@ class BatchedEmulatedSpace {
     // Client-op retry/deadline policy, applied to every shard and register
     // (design note 14).
     RetryPolicy retry{};
+    // Expected async write pipeline depth per owner (design note 15).
+    // submit() defers leading a round until this many ops are outstanding
+    // (await flushes partial windows), so a depth-D burst rides one round
+    // instead of splintering into 1-op rounds. 1 = lead on every submit.
+    int pipeline_depth = 1;
   };
 
   explicit BatchedEmulatedSpace(Options options) : options_(options) {
@@ -747,7 +750,8 @@ class BatchedEmulatedSpace {
               ? 0
               : options_.reorder_seed + 7919u * static_cast<std::uint64_t>(s);
       shards_.push_back(std::make_unique<BatchShard>(
-          options_.n, options_.f, seed, options_.batch_max, options_.retry));
+          options_.n, options_.f, seed, options_.batch_max, options_.retry,
+          options_.pipeline_depth));
     }
   }
 

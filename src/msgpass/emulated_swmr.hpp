@@ -36,15 +36,35 @@
 //    retry unboundedly — the shared-memory algorithms built on top issue
 //    finitely many writes per operation. Recorded as design note 6 in docs/ARCHITECTURE.md.
 //
-// The owner's client-side state (writer mutex, sn-monotone local view) and
-// the READ/STATE quorum machinery are shared with the batched substrate:
-// detail::SwmrCore in msgpass/swmr_core.hpp.
+// The server-side state machine itself — echo-once / accept-once /
+// amplify / deliver tallies, the delivered-set replay guard, and the
+// abort-fence state — is detail::BrachaLadder<sn> (bracha_ladder.hpp),
+// shared verbatim with the batched substrate; this file keeps only the
+// message I/O policy around it. The owner's client-side state (writer
+// mutex, sn-monotone local view) and the READ/STATE quorum machinery are
+// shared too: detail::SwmrCore in msgpass/swmr_core.hpp.
+//
+// Pipelined writes (design note 15): the owner may keep up to
+// pipeline_depth ladders in flight at once. write_async(v) allocates the
+// next sn, opens its ACK-wait slot, broadcasts the WRITE, and returns the
+// sn without waiting; await(sn) blocks until every in-flight sn <= that
+// one has settled (quorum ACKs, a recovery completion, or an abort) and
+// then reports sn's own fate — so client-visible completion is
+// sn-monotone even though ladders race freely. Safety needs no new
+// argument: each sn is its own candidate key (per-key dedup), servers
+// apply deliveries sn-monotonically, and the owner's view was already
+// updated at allocation, exactly as in the blocking path. write(v) is
+// write_async + await with depth-1 semantics — byte-identical message
+// traces to the pre-pipeline protocol.
 #pragma once
 
+#include <any>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,6 +76,7 @@
 #include <thread>
 #include <vector>
 
+#include "msgpass/detail/bracha_ladder.hpp"
 #include "msgpass/network.hpp"
 #include "msgpass/server_pool.hpp"
 #include "msgpass/swmr_core.hpp"
@@ -94,16 +115,24 @@ struct HandlerBase {
 template <typename T>
 class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
   using Core = detail::SwmrCore<T>;
+  using Ladder = detail::BrachaLadder<std::uint64_t>;
 
  public:
+  // Fired once when an async write settles: (sn, aborted). Runs on the
+  // thread that observed the settle (the owner's server thread for the ACK
+  // quorum, the recovery thread for an abort) — keep it non-blocking and
+  // do not call back into this register's write path from it.
+  using SettleCallback = std::function<void(std::uint64_t, bool)>;
+
   EmulatedSwmr(Network& net, int reg_id, int n, int f,
                runtime::ProcessId owner, T initial, std::string name,
                runtime::ProcessId sole_reader = runtime::kNoProcess,
-               RetryPolicy retry = {})
+               RetryPolicy retry = {}, int pipeline_depth = 1)
       : Core(reg_id, n, f, owner, std::move(initial), std::move(name),
              sole_reader, retry),
-        net_(&net) {
-    ladder_.resize(static_cast<std::size_t>(n) + 1);
+        net_(&net),
+        pipeline_depth_(std::max(pipeline_depth, 1)) {
+    ladder_.assign(static_cast<std::size_t>(n) + 1, Ladder(n, f));
   }
 
   // ------------------------------------------------------------- client
@@ -116,7 +145,32 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
   void write(T v) {
     this->require_owner("write");
     std::scoped_lock wl(this->writer_mu_);
-    write_locked(std::move(v));
+    await_locked(write_async_locked(std::move(v), {}));
+  }
+
+  // Asynchronous write: broadcasts the WRITE and returns its sn without
+  // waiting for the ACK quorum. At most pipeline_depth writes may be
+  // unsettled at once — past that the call blocks (driving retries of the
+  // in-flight ladders) until a slot frees. Every async write must
+  // eventually be awaited: await(sn) reports its fate (WriteAborted if the
+  // owner crashed and recovery fenced it) and releases its slot. The
+  // optional callback fires once at settle time, before any await returns.
+  std::uint64_t write_async(T v) { return write_async(std::move(v), {}); }
+  std::uint64_t write_async(T v, SettleCallback on_settled) {
+    this->require_owner("write_async");
+    std::scoped_lock wl(this->writer_mu_);
+    return write_async_locked(std::move(v), std::move(on_settled));
+  }
+
+  // Blocks until every in-flight write with sn' <= sn has settled, then
+  // reports sn's own outcome: returns normally on completion, throws
+  // registers::WriteAborted if recovery finalized sn as aborted, or
+  // registers::OpTimeout past retry_.op_timeout_ms. Waiting for the whole
+  // prefix keeps client-visible completion sn-monotone: a later write is
+  // never observed settled while an earlier one is still undecided.
+  void await(std::uint64_t sn) {
+    this->require_owner("await");
+    await_locked(sn);
   }
 
   // Owner read-modify-write (single-writer, so the owner's local view IS
@@ -125,8 +179,9 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
   template <typename F>
   T update(F&& fn) {
     this->require_owner("update");
-    return this->update_with(std::forward<F>(fn),
-                             [this](T v) { write_locked(std::move(v)); });
+    return this->update_with(std::forward<F>(fn), [this](T v) {
+      await_locked(write_async_locked(std::move(v), {}));
+    });
   }
 
   // Read by any process (or the sole reader, for SWSR use).
@@ -147,19 +202,30 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
       if (m.from != this->owner_) return;
       on_write(self, m, /*complete=*/true);
     } else if (m.type == "ECHO") {
-      on_echo(self, m);
+      on_vote_msg(self, m, /*is_echo=*/true);
     } else if (m.type == "ACCEPT") {
-      on_accept(self, m);
+      on_vote_msg(self, m, /*is_echo=*/false);
     } else if (m.type == "ACK") {
       if (self != this->owner_) return;
-      std::scoped_lock lock(this->mu_);
-      // Only count ACKs for the write currently in flight (the slot is
-      // opened by write_locked before the broadcast): late or replayed
-      // ACKs would otherwise recreate map entries that are never erased.
-      const auto it = acks_.find(m.sn);
-      if (it == acks_.end()) return;
-      it->second.acks.insert(m.from);
-      this->cv_.notify_all();
+      SettleCallback cb;
+      {
+        std::scoped_lock lock(this->mu_);
+        // Only count ACKs for writes currently in flight (the slot is
+        // opened by write_async_locked before the broadcast): late or
+        // replayed ACKs would otherwise recreate map entries that are
+        // never erased.
+        const auto it = acks_.find(m.sn);
+        if (it == acks_.end()) return;
+        AckWait& w = it->second;
+        w.acks.insert(m.from);
+        if (static_cast<int>(w.acks.size()) >= this->n_ - this->f_ &&
+            w.fate == AckWait::Fate::kPending && !w.fired && w.on_settled) {
+          w.fired = true;
+          cb = std::move(w.on_settled);
+        }
+        this->cv_.notify_all();
+      }
+      if (cb) cb(m.sn, /*aborted=*/false);
     } else if (m.type == "ABORT") {
       if (m.from != this->owner_) return;  // only the owner fences its sns
       on_abort(self, m);
@@ -175,15 +241,16 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
 
   // Crash semantics: a crash loses the server's volatile state — its stored
   // (sn, value) pair and any in-progress ladder tallies (echo/accept vote
-  // counts for undelivered sns). The echoed and delivered dedup sets are
-  // modeled as stable storage (a write-ahead bit flipped before the
-  // corresponding broadcast): without them a rejoined server could echo a
-  // second value for an sn it already echoed — becoming equivocation
-  // support the safety argument forbids — or re-deliver and re-ACK old sns.
+  // counts for undelivered sns). The ladder's echoed / delivered / blocked
+  // dedup sets are modeled as stable storage (a write-ahead bit flipped
+  // before the corresponding broadcast): without them a rejoined server
+  // could echo a second value for an sn it already echoed — becoming
+  // equivocation support the safety argument forbids — or re-deliver and
+  // re-ACK old sns (see bracha_ladder.hpp).
   void crash_process(int pid) override {
     std::scoped_lock lock(this->mu_);
     this->reset_stored_locked(pid);
-    ladder_[static_cast<std::size_t>(pid)].cands.clear();
+    ladder_[static_cast<std::size_t>(pid)].crash();
     if (pid == this->owner_) {
       // In-flight writes just lost their owner: mark them interrupted so
       // the client's retry timer stops re-broadcasting (the network
@@ -207,20 +274,31 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
   //    sent ACCEPT for it — says so (unsafe) -> complete after all.
   //    Repliers that had done neither promise never to echo/accept/deliver
   //    sn. With n−f clean fences, accept-senders are capped at 2f < n−f
-  //    forever (f non-repliers + f lying Byzantine repliers; see on_abort):
-  //    no correct process ever delivers sn, so no read (n−f vouchers) or
-  //    resync (f+1 vouchers, inductively no correct holder) can surface it.
-  //    The abort is FINAL; the owner's local view rolls back to the
-  //    resynced certified state and the writer gets registers::WriteAborted.
+  //    forever (f non-repliers + f lying Byzantine repliers; see
+  //    BrachaLadder::fence): no correct process ever delivers sn, so no
+  //    read (n−f vouchers) or resync (f+1 vouchers, inductively no correct
+  //    holder) can surface it. The abort is FINAL; the writer gets
+  //    registers::WriteAborted from await.
+  //
+  // With several writes in flight (pipelining), the sns are decided in
+  // ascending order, so the client-visible settle order stays sn-monotone:
+  // a later sn never completes-or-aborts before an earlier one was decided.
+  // The owner's local view is then rolled back ONLY if the write it mirrors
+  // was itself aborted — to the highest surviving write: the best completed
+  // in-flight sn or, if lower, the quorum-certified pair the resync adopted
+  // (a per-sn rollback would let an early abort clobber the view of a later
+  // completed write). write_sn_ is never rolled back — sns are never
+  // reused, or stale echo-once refusals would wedge the next write.
+  //
   // With `recover` false (recovery subsystem disabled), only the retry
   // suppression is lifted: client retries resume, nothing is decided.
   void owner_restarted(int pid, bool recover) override {
     if (pid != this->owner_) return;
-    std::vector<std::uint64_t> inflight;
+    std::vector<std::uint64_t> inflight;  // ascending (map order)
     {
       std::scoped_lock lock(this->mu_);
       for (auto& [sn, w] : acks_) {
-        if (w.fate != AckWait::Fate::kPending) continue;
+        if (settled_locked(w)) continue;
         if (recover)
           inflight.push_back(sn);
         else
@@ -231,38 +309,32 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
         return;
       }
     }
-    for (const std::uint64_t sn : inflight) recover_write(sn);
+    std::set<std::uint64_t> aborted;
+    std::uint64_t live_sn = 0;  // highest in-flight sn that completed
+    int live_vid = -1;
+    for (const std::uint64_t sn : inflight) {
+      const Recovered out = recover_write(sn);
+      if (out.outcome == Recovered::Outcome::kCompleted) {
+        live_sn = sn;
+        live_vid = out.vid;
+      } else if (out.outcome == Recovered::Outcome::kAborted) {
+        aborted.insert(sn);
+      }
+    }
+    std::scoped_lock lock(this->mu_);
+    if (this->owner_view_sn_ != 0 && aborted.contains(this->owner_view_sn_)) {
+      const auto& own = this->state_[static_cast<std::size_t>(this->owner_)];
+      if (live_vid >= 0 && live_sn >= own.stored_sn) {
+        this->owner_view_ = this->values_[static_cast<std::size_t>(live_vid)];
+        this->owner_view_sn_ = live_sn;
+      } else {
+        this->owner_view_ = own.stored_val;
+        this->owner_view_sn_ = own.stored_sn;
+      }
+    }
   }
 
  private:
-  struct Candidate {
-    int value_id = 0;
-    std::set<int> echoes;
-    std::set<int> accepts;
-    bool sent_accept = false;
-  };
-  struct LadderState {
-    // Echo-once-per-sn, sn -> echoed value id (must persist). Storing the
-    // vid rather than bare membership lets a duplicate WRITE re-issue the
-    // ORIGINAL echo — idempotent refresh of a lost message, never support
-    // for an equivocated second value.
-    std::map<std::uint64_t, int> echoed;
-    // Delivered sns (persists, like echoed): ECHO/ACCEPT votes for a
-    // delivered sn are ignored, so a Byzantine ACCEPT replay landing after
-    // the candidate map below is pruned cannot pool with a correct
-    // straggler's vote into a fresh f+1 and re-trigger the whole
-    // amplification + ACK storm.
-    std::set<std::uint64_t> delivered;
-    // Abort-fenced sns (persists): this server promised the recovering
-    // owner it would never echo, accept, or deliver these. Only a CWRITE
-    // from the owner lifts the fence.
-    std::set<std::uint64_t> blocked;
-    // per sn: candidate values (usually 1; >1 only under equivocation).
-    // The entry is erased once a candidate delivers; `delivered` above
-    // keeps post-delivery votes from resurrecting it.
-    std::map<std::uint64_t, std::vector<Candidate>> cands;
-  };
-
   // Owner-side wait slot for one in-flight write sn.
   struct AckWait {
     enum class Fate { kPending, kCompleted, kAborted };
@@ -274,6 +346,10 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     // Recovery proved the sn delivered somewhere: retries switch to CWRITE
     // so they also lift any fences granted before the delivery was found.
     bool recovered = false;
+    bool fired = false;          // settle callback fired (at most once)
+    SettleCallback on_settled;   // optional, from write_async
+    int slot = 0;                // writes already in flight at issue (obs)
+    std::chrono::steady_clock::time_point t0{};  // issue time (latency)
     Fate fate = Fate::kPending;
   };
 
@@ -281,37 +357,132 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
   struct FenceWait {
     std::set<int> repliers;
     // Some replier delivered sn or had already sent ACCEPT for it: the
-    // write must complete, not abort (see on_abort).
+    // write must complete, not abort (see BrachaLadder::fence).
     bool unsafe_any = false;
   };
 
-  // Core of write(): caller holds writer_mu_. Completes on n−f ACKs (or a
-  // recovery completion); throws registers::WriteAborted if the owner
-  // crashed mid-write and recovery's fence finalized the sn as aborted, or
-  // registers::OpTimeout past retry_.op_timeout_ms. Retry layer (design
-  // note 14): each lapsed backoff slice re-broadcasts the WRITE — a pure
-  // refresh of lost messages, idempotent at every server (echo-once re-
-  // issues the original echo, delivered servers just re-ACK) — so a retry
-  // can never re-certify a quorum or recruit equivocation support.
-  void write_locked(T v) {
-    static obs::LogHistogram& ack_hist =
-        obs::MetricsRegistry::global().histogram("msgpass.write_ack_wait_us");
-    const std::uint64_t sn = this->allocate_sn_locked(v);
-    int vid;
-    {
-      // Open the ACK wait slot before broadcasting so the ACK handler can
-      // tell the in-flight write from stale/replayed sns.
-      std::scoped_lock lock(this->mu_);
-      vid = this->intern_locked(v);
-      acks_[sn].vid = vid;
+  bool settled_locked(const AckWait& w) const {
+    return static_cast<int>(w.acks.size()) >= this->n_ - this->f_ ||
+           w.fate != AckWait::Fate::kPending;
+  }
+
+  int unsettled_locked() const {
+    int k = 0;
+    for (const auto& [sn, w] : acks_)
+      if (!settled_locked(w)) ++k;
+    return k;
+  }
+
+  [[noreturn]] void throw_op_timeout(std::unique_lock<std::mutex>& lock,
+                                     std::uint64_t victim) {
+    if (victim != 0) acks_.erase(victim);
+    lock.unlock();
+    detail::record_phase(obs::EventKind::kOpTimeout, this->owner_,
+                         this->reg_id_, this->owner_, victim);
+    detail::timeout_counter().add();
+    throw registers::OpTimeout(
+        "write sn " + std::to_string(victim) + " on '" + this->name_ +
+        "' timed out after " + std::to_string(this->retry_.op_timeout_ms) +
+        " ms (outcome indeterminate)");
+  }
+
+  // The shared quorum-wait loop of the pipelined write path: waits under
+  // `lock` (mu_) until pred(); each lapsed backoff slice re-broadcasts
+  // every unsettled, non-interrupted in-flight sn <= limit — WRITE, or
+  // CWRITE once recovery proved the sn delivered. Retries are pure
+  // refreshes of lost messages, idempotent at every server (echo-once
+  // re-issues the original echo, delivered servers just re-ACK), so a
+  // retry can never re-certify a quorum or recruit equivocation support
+  // (design note 14). Throws registers::OpTimeout at op_deadline, erasing
+  // `victim`'s slot (0 = none — the capacity gate has no slot yet).
+  template <typename Pred>
+  void drive_quorum_locked(std::unique_lock<std::mutex>& lock,
+                           std::chrono::steady_clock::time_point op_deadline,
+                           std::uint64_t limit, std::uint64_t victim,
+                           Pred&& pred) {
+    std::uint64_t backoff = std::max<std::uint64_t>(this->retry_.base_ms, 1);
+    for (;;) {
+      if (pred()) return;
+      if (!this->retry_.enabled) {
+        if (this->retry_.op_timeout_ms > 0) {
+          if (!this->cv_.wait_until(lock, op_deadline, pred))
+            throw_op_timeout(lock, victim);
+        } else {
+          this->cv_.wait(lock, pred);
+        }
+        continue;
+      }
+      const auto until = std::min(std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(backoff),
+                                  op_deadline);
+      if (this->cv_.wait_until(lock, until, pred)) return;
+      if (std::chrono::steady_clock::now() >= op_deadline)
+        throw_op_timeout(lock, victim);
+      struct Resend {
+        std::uint64_t sn;
+        int vid;
+        bool cwrite;
+      };
+      std::vector<Resend> resend;
+      for (const auto& [sn, w] : acks_) {
+        if (sn > limit) break;
+        if (settled_locked(w) || w.interrupted) continue;
+        resend.push_back({sn, w.vid, w.recovered});
+      }
+      if (!resend.empty()) {
+        lock.unlock();
+        for (const Resend& r : resend) {
+          detail::record_phase(obs::EventKind::kOpRetry, this->owner_,
+                               this->reg_id_, this->owner_, r.sn, backoff);
+          detail::retry_counter().add();
+          Message rm;
+          rm.reg = this->reg_id_;
+          rm.type = r.cwrite ? "CWRITE" : "WRITE";
+          rm.sn = r.sn;
+          rm.payload = value_snapshot(r.vid);
+          net_->broadcast(rm);
+        }
+        lock.lock();
+      }
+      backoff = std::min(backoff * 2,
+                         std::max(this->retry_.max_ms, this->retry_.base_ms));
     }
-    detail::record_phase(obs::EventKind::kWriteStart, this->owner_,
-                         this->reg_id_, this->owner_, sn);
+  }
+
+  // Issue half of the pipelined write path: caller holds writer_mu_.
+  // Blocks only on the capacity gate (unsettled in-flight >= depth).
+  std::uint64_t write_async_locked(T v, SettleCallback on_settled) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto op_deadline =
         this->retry_.op_timeout_ms > 0
             ? t0 + std::chrono::milliseconds(this->retry_.op_timeout_ms)
             : std::chrono::steady_clock::time_point::max();
+    {
+      // Capacity gate. The wait drives retries of the in-flight sns so a
+      // lossy window cannot wedge an issuer behind ladders whose awaiters
+      // have not started waiting yet.
+      std::unique_lock lock(this->mu_);
+      drive_quorum_locked(lock, op_deadline,
+                          std::numeric_limits<std::uint64_t>::max(),
+                          /*victim=*/0,
+                          [&] { return unsettled_locked() < pipeline_depth_; });
+    }
+    const std::uint64_t sn = this->allocate_sn_locked(v);
+    int slot;
+    {
+      // Open the ACK wait slot before broadcasting so the ACK handler can
+      // tell the in-flight write from stale/replayed sns.
+      std::scoped_lock lock(this->mu_);
+      slot = unsettled_locked();  // writes already in flight (0 = none)
+      AckWait& w = acks_[sn];
+      w.vid = this->intern_locked(v);
+      w.on_settled = std::move(on_settled);
+      w.slot = slot;
+      w.t0 = t0;
+    }
+    detail::record_phase(obs::EventKind::kWriteStart, this->owner_,
+                         this->reg_id_, this->owner_, sn,
+                         static_cast<std::uint64_t>(slot));
     Message m;
     m.reg = this->reg_id_;
     m.type = "WRITE";
@@ -321,192 +492,137 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     detail::record_phase(obs::EventKind::kQuorumWait, this->owner_,
                          this->reg_id_, this->owner_, sn,
                          static_cast<std::uint64_t>(this->n_ - this->f_));
-    std::uint64_t backoff = std::max<std::uint64_t>(this->retry_.base_ms, 1);
+    return sn;
+  }
+
+  // Settle half: waits for every in-flight sn <= target, then reports
+  // target's fate and releases (only) its slot. See await() for semantics.
+  void await_locked(std::uint64_t target) {
+    static obs::LogHistogram& ack_hist =
+        obs::MetricsRegistry::global().histogram("msgpass.write_ack_wait_us");
     std::unique_lock lock(this->mu_);
-    const auto settled = [&] {
-      const AckWait& w = acks_[sn];
-      return static_cast<int>(w.acks.size()) >= this->n_ - this->f_ ||
-             w.fate != AckWait::Fate::kPending;
-    };
-    for (;;) {
-      AckWait& w = acks_[sn];
-      if (w.fate == AckWait::Fate::kAborted) {
-        acks_.erase(sn);
-        lock.unlock();
-        detail::record_phase(obs::EventKind::kWriteAbort, this->owner_,
-                             this->reg_id_, this->owner_, sn);
-        detail::abort_counter().add();
-        throw registers::WriteAborted(
-            "write sn " + std::to_string(sn) + " on '" + this->name_ +
-            "' aborted: owner crashed before the value could deliver");
-      }
-      if (static_cast<int>(w.acks.size()) >= this->n_ - this->f_ ||
-          w.fate == AckWait::Fate::kCompleted)
-        break;
-      if (!this->retry_.enabled) {
-        if (this->retry_.op_timeout_ms > 0) {
-          if (!this->cv_.wait_until(lock, op_deadline, settled)) {
-            acks_.erase(sn);
-            lock.unlock();
-            detail::record_phase(obs::EventKind::kOpTimeout, this->owner_,
-                                 this->reg_id_, this->owner_, sn);
-            detail::timeout_counter().add();
-            throw registers::OpTimeout(
-                "write sn " + std::to_string(sn) + " on '" + this->name_ +
-                "' timed out after " +
-                std::to_string(this->retry_.op_timeout_ms) +
-                " ms (outcome indeterminate)");
-          }
-        } else {
-          this->cv_.wait(lock, settled);
-        }
-        continue;
-      }
-      const auto until = std::min(std::chrono::steady_clock::now() +
-                                      std::chrono::milliseconds(backoff),
-                                  op_deadline);
-      if (this->cv_.wait_until(lock, until, settled)) continue;
-      if (std::chrono::steady_clock::now() >= op_deadline) {
-        acks_.erase(sn);
-        lock.unlock();
-        detail::record_phase(obs::EventKind::kOpTimeout, this->owner_,
-                             this->reg_id_, this->owner_, sn);
-        detail::timeout_counter().add();
-        throw registers::OpTimeout(
-            "write sn " + std::to_string(sn) + " on '" + this->name_ +
-            "' timed out after " +
-            std::to_string(this->retry_.op_timeout_ms) +
-            " ms (outcome indeterminate)");
-      }
-      if (w.interrupted) continue;  // owner down: recovery owns this sn
-      const bool cwrite = w.recovered;
-      lock.unlock();
-      detail::record_phase(obs::EventKind::kOpRetry, this->owner_,
-                           this->reg_id_, this->owner_, sn, backoff);
-      detail::retry_counter().add();
-      Message rm;
-      rm.reg = this->reg_id_;
-      rm.type = cwrite ? "CWRITE" : "WRITE";
-      rm.sn = sn;
-      rm.payload = value_snapshot(vid);
-      net_->broadcast(rm);
-      lock.lock();
-      backoff = std::min(backoff * 2,
-                         std::max(this->retry_.max_ms, this->retry_.base_ms));
-    }
-    acks_.erase(sn);
+    const auto it0 = acks_.find(target);
+    if (it0 == acks_.end()) return;  // already awaited (or timed out)
+    const auto t0 = it0->second.t0;
+    const auto op_deadline =
+        this->retry_.op_timeout_ms > 0
+            ? t0 + std::chrono::milliseconds(this->retry_.op_timeout_ms)
+            : std::chrono::steady_clock::time_point::max();
+    drive_quorum_locked(lock, op_deadline, target, /*victim=*/target, [&] {
+      for (auto it = acks_.begin(); it != acks_.end() && it->first <= target;
+           ++it)
+        if (!settled_locked(it->second)) return false;
+      return true;
+    });
+    const auto it = acks_.find(target);
+    if (it == acks_.end()) return;  // raced with a concurrent await(target)
+    const bool was_aborted = it->second.fate == AckWait::Fate::kAborted;
+    acks_.erase(it);
     lock.unlock();
+    if (was_aborted) {
+      detail::record_phase(obs::EventKind::kWriteAbort, this->owner_,
+                           this->reg_id_, this->owner_, target);
+      detail::abort_counter().add();
+      throw registers::WriteAborted(
+          "write sn " + std::to_string(target) + " on '" + this->name_ +
+          "' aborted: owner crashed before the value could deliver");
+    }
     const auto elapsed = std::chrono::steady_clock::now() - t0;
     ack_hist.add(std::chrono::duration<double, std::micro>(elapsed).count());
     detail::record_phase(
         obs::EventKind::kWriteDone, this->owner_, this->reg_id_, this->owner_,
-        sn,
+        target,
         static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
                 .count()));
   }
 
-  Candidate& candidate(LadderState& st, std::uint64_t sn, int value_id) {
-    for (Candidate& c : st.cands[sn])
-      if (c.value_id == value_id) return c;
-    st.cands[sn].push_back(Candidate{value_id, {}, {}, false});
-    return st.cands[sn].back();
-  }
-
-  // WRITE and CWRITE. A duplicate (retried) WRITE is inert except for
-  // refreshing what may have been lost: a delivered server re-ACKs, an
-  // echoed server re-broadcasts its ORIGINAL echo (receivers dedup votes by
-  // sender, so tallies never double-count — and an equivocating retry
-  // cannot recruit this server's support either). `complete` (CWRITE only)
-  // additionally lifts an abort fence — see handle().
+  // WRITE and CWRITE. The ladder decides (bracha_ladder.hpp): a delivered
+  // server re-ACKs, a fenced server stays inert unless this is the
+  // completion re-issue, an echoed server re-broadcasts its ORIGINAL echo
+  // (receivers dedup votes by sender, so tallies never double-count — and
+  // an equivocating retry cannot recruit this server's support either).
   void on_write(int self, const Message& m, bool complete) {
-    std::unique_lock lock(this->mu_);
-    LadderState& st = ladder_[static_cast<std::size_t>(self)];
-    if (st.delivered.contains(m.sn)) {
-      lock.unlock();
-      Message ack;
-      ack.reg = this->reg_id_;
-      ack.type = "ACK";
-      ack.sn = m.sn;
-      ack.to = this->owner_;
-      net_->send(ack);
-      return;
+    typename Ladder::WriteStep step;
+    {
+      std::scoped_lock lock(this->mu_);
+      step = ladder_[static_cast<std::size_t>(self)].on_write(
+          m.sn, complete,
+          [&] { return this->intern_locked(std::any_cast<const T&>(m.payload)); });
     }
-    if (st.blocked.contains(m.sn)) {
-      if (!complete) return;  // fenced: plain retries must stay inert
-      st.blocked.erase(m.sn);
+    switch (step.action) {
+      case Ladder::WriteAction::kReAck: {
+        Message ack;
+        ack.reg = this->reg_id_;
+        ack.type = "ACK";
+        ack.sn = m.sn;
+        ack.to = this->owner_;
+        net_->send(ack);
+        return;
+      }
+      case Ladder::WriteAction::kFenced:
+      case Ladder::WriteAction::kRefused:
+        return;
+      case Ladder::WriteAction::kEcho:
+        break;
     }
-    int vid;
-    const auto it = st.echoed.find(m.sn);
-    if (it != st.echoed.end()) {
-      vid = it->second;  // re-issue the original echo, never a new one
-    } else {
-      vid = this->intern_locked(std::any_cast<const T&>(m.payload));
-      st.echoed.emplace(m.sn, vid);
-    }
-    lock.unlock();
     detail::record_phase(obs::EventKind::kPhaseEcho, self, this->reg_id_,
                          this->owner_, m.sn);
     Message echo;
     echo.reg = this->reg_id_;
     echo.type = "ECHO";
     echo.sn = m.sn;
-    echo.payload = value_snapshot(vid);
+    echo.payload = value_snapshot(step.value_id);
     net_->broadcast(echo);
   }
 
-  void on_echo(int self, const Message& m) {
-    std::unique_lock lock(this->mu_);
-    LadderState& st = ladder_[static_cast<std::size_t>(self)];
-    if (st.delivered.contains(m.sn)) return;  // post-delivery vote: inert
-    if (st.blocked.contains(m.sn)) return;    // abort-fenced: no support
-    const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
-    Candidate& c = candidate(st, m.sn, vid);
-    c.echoes.insert(m.from);
-    progress(self, st, m.sn, c, lock);
+  // ECHO and ACCEPT: one vote into the ladder; act on what it fired.
+  void on_vote_msg(int self, const Message& m, bool is_echo) {
+    int vid;
+    typename Ladder::VoteStep step;
+    {
+      std::scoped_lock lock(this->mu_);
+      vid = this->intern_locked(std::any_cast<const T&>(m.payload));
+      step = ladder_[static_cast<std::size_t>(self)].on_vote(m.sn, vid,
+                                                             m.from, is_echo);
+      if (step.deliver) this->apply_locked(self, m.sn, vid);
+    }
+    if (step.send_accept)
+      detail::record_phase(step.amplified ? obs::EventKind::kPhaseAmplify
+                                          : obs::EventKind::kPhaseAccept,
+                           self, this->reg_id_, this->owner_, m.sn);
+    if (step.deliver) {
+      detail::record_phase(obs::EventKind::kPhaseDeliver, self, this->reg_id_,
+                           this->owner_, m.sn, static_cast<std::uint64_t>(vid));
+      detail::record_phase(obs::EventKind::kPhaseAck, self, this->reg_id_,
+                           this->owner_, m.sn);
+    }
+    if (step.send_accept) {
+      Message acc;
+      acc.reg = this->reg_id_;
+      acc.type = "ACCEPT";
+      acc.sn = m.sn;
+      acc.payload = value_snapshot(vid);
+      net_->broadcast(acc);
+    }
+    if (step.deliver) {
+      Message ack;
+      ack.reg = this->reg_id_;
+      ack.type = "ACK";
+      ack.sn = m.sn;
+      ack.to = this->owner_;
+      net_->send(ack);
+    }
   }
 
-  void on_accept(int self, const Message& m) {
-    std::unique_lock lock(this->mu_);
-    LadderState& st = ladder_[static_cast<std::size_t>(self)];
-    if (st.delivered.contains(m.sn)) return;  // post-delivery vote: inert
-    if (st.blocked.contains(m.sn)) return;    // abort-fenced: no support
-    const int vid = this->intern_locked(std::any_cast<const T&>(m.payload));
-    Candidate& c = candidate(st, m.sn, vid);
-    c.accepts.insert(m.from);
-    progress(self, st, m.sn, c, lock);
-  }
-
-  // Server side of the abort fence. The reply payload is an unsafe-to-
-  // abort bit: true if this server DELIVERED sn — or merely SENT ACCEPT for
-  // it. The accepted case matters for finality: fencing is not retroactive
-  // for ACCEPTs already in flight, so if an accept-sender could grant a
-  // "clean" fence, n−f clean replies might coexist with enough pre-fence
-  // ACCEPTs for some unfenced process to still deliver the value later.
-  // Counting accept-senders as unsafe restores the bound: when every one of
-  // n−f repliers has neither delivered nor accepted, total accept-senders
-  // are at most f non-repliers + f lying Byzantine repliers = 2f < n−f,
-  // forever — so no correct process can ever deliver sn. An undelivered sn
-  // is blocked either way (a persistent promise to never echo/accept/
-  // deliver it, same stable-storage model as the dedup sets); if the owner
-  // ends up completing, its CWRITE lifts the block.
+  // Server side of the abort fence — BrachaLadder::fence holds the safety
+  // argument (delivered-or-accepted repliers are unsafe; the rest promise
+  // never to support sn again).
   void on_abort(int self, const Message& m) {
     bool unsafe;
     {
       std::scoped_lock lock(this->mu_);
-      LadderState& st = ladder_[static_cast<std::size_t>(self)];
-      unsafe = st.delivered.contains(m.sn);
-      if (!unsafe) {
-        const auto cit = st.cands.find(m.sn);
-        if (cit != st.cands.end())
-          for (const Candidate& c : cit->second)
-            if (c.sent_accept) {
-              unsafe = true;
-              break;
-            }
-        st.blocked.insert(m.sn);
-        st.cands.erase(m.sn);  // in-progress tallies for sn die with it
-      }
+      unsafe = ladder_[static_cast<std::size_t>(self)].fence(m.sn);
     }
     Message r;
     r.reg = this->reg_id_;
@@ -526,59 +642,6 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
     this->cv_.notify_all();
   }
 
-  // Evaluates the Bracha ladder for one candidate. Called under mu_;
-  // releases it to send messages. Delivery prunes the candidate map, which
-  // invalidates `c` — everything needed is copied out before that.
-  void progress(int self, LadderState& st, std::uint64_t sn, Candidate& c,
-                std::unique_lock<std::mutex>& lock) {
-    const int vid = c.value_id;
-    bool send_accept = false;
-    bool amplified = false;
-    bool deliver = false;
-    if (!c.sent_accept &&
-        (static_cast<int>(c.echoes.size()) >= this->n_ - this->f_ ||
-         static_cast<int>(c.accepts.size()) >= this->f_ + 1)) {
-      c.sent_accept = true;
-      send_accept = true;
-      // Which rung fired: the echo quorum (accept) or f+1 accepts (amplify).
-      amplified = static_cast<int>(c.echoes.size()) < this->n_ - this->f_;
-    }
-    if (static_cast<int>(c.accepts.size()) >= this->n_ - this->f_) {
-      deliver = true;
-      this->apply_locked(self, sn, vid);
-      st.delivered.insert(sn);
-      st.cands.erase(sn);  // prune: c is dangling beyond this point
-    }
-    lock.unlock();
-    if (send_accept)
-      detail::record_phase(amplified ? obs::EventKind::kPhaseAmplify
-                                     : obs::EventKind::kPhaseAccept,
-                           self, this->reg_id_, this->owner_, sn);
-    if (deliver) {
-      detail::record_phase(obs::EventKind::kPhaseDeliver, self, this->reg_id_,
-                           this->owner_, sn, static_cast<std::uint64_t>(vid));
-      detail::record_phase(obs::EventKind::kPhaseAck, self, this->reg_id_,
-                           this->owner_, sn);
-    }
-    if (send_accept) {
-      Message acc;
-      acc.reg = this->reg_id_;
-      acc.type = "ACCEPT";
-      acc.sn = sn;
-      acc.payload = value_snapshot(vid);
-      net_->broadcast(acc);
-    }
-    if (deliver) {
-      Message ack;
-      ack.reg = this->reg_id_;
-      ack.type = "ACK";
-      ack.sn = sn;
-      ack.to = this->owner_;
-      net_->send(ack);
-    }
-    lock.lock();
-  }
-
   T value_snapshot(int vid) {
     std::scoped_lock lock(this->mu_);
     return this->values_[static_cast<std::size_t>(vid)];
@@ -586,8 +649,14 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
 
   // Recovery for one interrupted write sn (thread bound as the owner; see
   // owner_restarted for the safety argument). Decides complete-vs-abort and
-  // applies the outcome to the writer's wait slot.
-  void recover_write(std::uint64_t sn) {
+  // applies the outcome to the writer's wait slot; owner_restarted folds
+  // the outcomes into the owner-view rollback decision.
+  struct Recovered {
+    enum class Outcome { kCompleted, kAborted, kVanished };
+    Outcome outcome = Outcome::kVanished;
+    int vid = -1;
+  };
+  Recovered recover_write(std::uint64_t sn) {
     bool certified;
     {
       // The server-side resync just adopted the highest f+1-vouched pair
@@ -598,14 +667,16 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
           this->state_[static_cast<std::size_t>(this->owner_)].stored_sn >= sn;
     }
     const bool complete = certified || !fence_write(sn);
+    SettleCallback cb;
     std::unique_lock lock(this->mu_);
     const auto it = acks_.find(sn);
-    if (it == acks_.end()) return;  // writer gave up (op timeout) meanwhile
+    if (it == acks_.end())
+      return {};  // writer gave up (op timeout) meanwhile
     AckWait& w = it->second;
+    const int vid = w.vid;
     if (complete) {
       w.recovered = true;
       w.interrupted = false;
-      const int vid = w.vid;
       this->cv_.notify_all();
       lock.unlock();
       // Kick the completion now rather than waiting a backoff slice: the
@@ -618,19 +689,18 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
       cm.sn = sn;
       cm.payload = value_snapshot(vid);
       net_->broadcast(cm);
-    } else {
-      w.fate = AckWait::Fate::kAborted;
-      w.interrupted = false;
-      // The aborted value is unreachable by any read or resync; roll the
-      // owner's local view back to what the quorum actually certified
-      // (resync wrote it into our replica just above). write_sn_ is NOT
-      // rolled back — sns are never reused, or stale echo-once refusals
-      // would wedge the next write.
-      const auto& own = this->state_[static_cast<std::size_t>(this->owner_)];
-      this->owner_view_ = own.stored_val;
-      this->owner_view_sn_ = own.stored_sn;
-      this->cv_.notify_all();
+      return {Recovered::Outcome::kCompleted, vid};
     }
+    w.fate = AckWait::Fate::kAborted;
+    w.interrupted = false;
+    if (!w.fired && w.on_settled) {
+      w.fired = true;
+      cb = std::move(w.on_settled);
+    }
+    this->cv_.notify_all();
+    lock.unlock();
+    if (cb) cb(sn, /*aborted=*/true);
+    return {Recovered::Outcome::kAborted, vid};
   }
 
   // Broadcast ABORT(sn) until n−f ABACKs arrive (bounded-exponential
@@ -666,7 +736,8 @@ class EmulatedSwmr : public detail::HandlerBase, public detail::SwmrCore<T> {
   }
 
   Network* net_;
-  std::vector<LadderState> ladder_;         // per process
+  const int pipeline_depth_;                // max unsettled async writes
+  std::vector<Ladder> ladder_;              // per process
   std::map<std::uint64_t, AckWait> acks_;   // per in-flight write sn (owner)
   std::map<std::uint64_t, FenceWait> fence_;  // per recovering sn (owner)
 };
@@ -699,6 +770,9 @@ class EmulatedSpace {
     // Client-op retry/deadline policy, applied to every register created by
     // this space (design note 14).
     RetryPolicy retry{};
+    // Max unsettled write_async ladders per register owner (design note
+    // 15). 1 (the default) reproduces the blocking protocol exactly.
+    int pipeline_depth = 1;
   };
 
   explicit EmulatedSpace(Options options)
@@ -768,7 +842,8 @@ class EmulatedSpace {
     const int id = static_cast<int>(registry_.size());
     auto reg = std::make_unique<EmulatedSwmr<T>>(
         net_, id, options_.n, options_.f, owner, std::move(initial),
-        std::move(name), runtime::kNoProcess, options_.retry);
+        std::move(name), runtime::kNoProcess, options_.retry,
+        options_.pipeline_depth);
     auto& ref = *reg;
     registry_.push_back(std::move(reg));
     return ref;
@@ -782,7 +857,7 @@ class EmulatedSpace {
     const int id = static_cast<int>(registry_.size());
     auto reg = std::make_unique<EmulatedSwsr<T>>(
         net_, id, options_.n, options_.f, owner, std::move(initial),
-        std::move(name), reader, options_.retry);
+        std::move(name), reader, options_.retry, options_.pipeline_depth);
     auto& ref = *reg;
     registry_.push_back(std::move(reg));
     return ref;

@@ -259,4 +259,19 @@ std::uint64_t Network::messages_delayed() const {
   return delayed_total_.load(std::memory_order_relaxed);
 }
 
+std::uint64_t Network::queued_messages() const {
+  std::uint64_t total = 0;
+  // Per-inbox locks, taken one at a time: the count is a snapshot, not a
+  // consistent cut — good enough for the wedge forensics it feeds.
+  for (const auto& inbox : inboxes_) {
+    std::scoped_lock lock(inbox->mu);
+    total += inbox->queue.size();
+  }
+  {
+    std::scoped_lock lock(delay_mu_);
+    total += delayed_.size();
+  }
+  return total;
+}
+
 }  // namespace swsig::msgpass

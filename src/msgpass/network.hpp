@@ -71,6 +71,12 @@ class Network {
   // Fault accounting (0 unless an injector dropped/held something).
   std::uint64_t messages_dropped() const;
   std::uint64_t messages_delayed() const;
+  // Messages currently sitting in inboxes or the delay pump — the
+  // in-flight backlog. With pipelined writers a wedge can hide behind a
+  // deep backlog rather than a silent network, so the soak forensics
+  // report it alongside the send/drop totals. O(n) lock acquisitions;
+  // diagnostics only, not for the hot path.
+  std::uint64_t queued_messages() const;
   int n() const { return options_.n; }
 
   // Per-message-type counters ("net.send.WRITE", "net.recv.ECHO",
@@ -119,7 +125,8 @@ class Network {
   std::atomic<std::uint64_t> delayed_total_{0};
   std::atomic<FaultInjector*> injector_{nullptr};
   // Held-back (delayed) messages, re-delivered by the pump thread.
-  std::mutex delay_mu_;
+  // (mutable: queued_messages() is logically const.)
+  mutable std::mutex delay_mu_;
   std::condition_variable_any delay_cv_;
   std::vector<Delayed> delayed_;  // min-heap by due
   std::jthread pump_;             // started lazily by set_fault_injector

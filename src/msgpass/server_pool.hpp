@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <stop_token>
 #include <thread>
 #include <utility>
@@ -25,13 +26,18 @@ class ServerPool {
   // Spawns one server thread per process 1..n; each binds its pid and feeds
   // received messages to `handle`. The pool must outlive nothing that
   // `handle` touches — callers stop() it before tearing protocol state down.
-  ServerPool(Network& net, int n, Handler handle) {
+  // All n threads share ONE handler instance (the protocols' handlers are
+  // stateless closures over their space, and with pipelined owners every
+  // server thread multiplexes many concurrent ladders — n identical
+  // std::function copies bought nothing).
+  ServerPool(Network& net, int n, Handler handle)
+      : handle_(std::make_shared<Handler>(std::move(handle))) {
     for (int pid = 1; pid <= n; ++pid) {
-      threads_.emplace_back([&net, pid, handle](std::stop_token st) {
+      threads_.emplace_back([&net, pid, handle = handle_](std::stop_token st) {
         runtime::ThisProcess::Binder bind(pid);
         while (!st.stop_requested()) {
           auto m = net.recv(st);
-          if (m) handle(pid, *m);
+          if (m) (*handle)(pid, *m);
         }
       });
     }
@@ -48,6 +54,7 @@ class ServerPool {
   }
 
  private:
+  std::shared_ptr<Handler> handle_;  // shared by all server threads
   std::vector<std::jthread> threads_;
 };
 

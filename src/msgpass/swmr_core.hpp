@@ -77,6 +77,11 @@ inline util::ShardedCounter& abort_counter() {
       obs::MetricsRegistry::global().counter("msgpass.write_abort");
   return c;
 }
+inline util::ShardedCounter& coalesce_counter() {
+  static util::ShardedCounter& c =
+      obs::MetricsRegistry::global().counter("msgpass.read_coalesced");
+  return c;
+}
 
 template <typename T>
 class SwmrCore {
@@ -120,6 +125,16 @@ class SwmrCore {
     std::set<int> senders;
     // (sn, value_id) -> supporting processes
     std::map<std::pair<std::uint64_t, int>, std::set<int>> support;
+  };
+  // Per-(register, reader-pid) coalescing state for batched READ quorum
+  // rounds (design note 15): overlapping reads by the same process share
+  // quorum rounds instead of each broadcasting their own.
+  struct ReadRound {
+    std::uint64_t round = 0;       // generations led so far
+    bool in_flight = false;        // some thread is leading a round now
+    std::uint64_t done_round = 0;  // highest generation published
+    std::uint64_t done_sn = 0;     // its result pair
+    int done_vid = -1;
   };
 
   void require_owner(const char* op) const {
@@ -195,10 +210,90 @@ class SwmrCore {
       throw registers::PortViolation("read of emulated SWSR '" + name_ +
                                      "' by p" + std::to_string(self));
     }
-    const auto [sn, vid] = quorum_pair_via(net, n_ - f_);
+    const auto [sn, vid] = coalesced_quorum_pair(net, self);
     (void)sn;
     std::scoped_lock lock(mu_);
     return values_.at(static_cast<std::size_t>(vid));
+  }
+
+  // Batched READ quorum rounds (design note 15): k reads of this register
+  // by the same process that overlap in time share quorum rounds instead of
+  // broadcasting k of them. At most one round per (register, reader) is in
+  // flight: the thread that finds none becomes the leader and runs the
+  // plain n−f quorum; the others pick a target GENERATION — strictly after
+  // their arrival — and adopt the result of the first generation >= it.
+  //
+  // Linearizability is inherited, not re-argued: the adopted result came
+  // from a full n−f quorum round whose READ broadcast happened after the
+  // adopting read was invoked (the generation counter is advanced under mu_
+  // only after the target was fixed) and whose result landed before it
+  // returns — so the quorum round's linearization point lies inside the
+  // adopting read's own interval. Waiters never return a round led before
+  // they arrived; the generation arithmetic is what rules that out.
+  //
+  // If a leader throws (op deadline), it releases leadership and wakes the
+  // waiters; one of them leads a fresh generation — still >= every parked
+  // target, so one successful round releases everyone.
+  std::pair<std::uint64_t, int> coalesced_quorum_pair(Network& net, int self) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto op_deadline =
+        retry_.op_timeout_ms > 0
+            ? t0 + std::chrono::milliseconds(retry_.op_timeout_ms)
+            : std::chrono::steady_clock::time_point::max();
+    std::unique_lock lock(mu_);
+    ReadRound& rr = read_rounds_[self];  // node-stable reference
+    std::uint64_t target = 0;            // 0 = not parked yet
+    for (;;) {
+      if (target != 0 && rr.done_round >= target) {
+        const std::uint64_t adopted = rr.done_round;
+        const std::pair<std::uint64_t, int> res{rr.done_sn, rr.done_vid};
+        lock.unlock();
+        coalesce_counter().add();
+        record_phase(obs::EventKind::kReadCoalesced, self, reg_id_, owner_,
+                     adopted, res.first);
+        return res;
+      }
+      if (!rr.in_flight) {
+        rr.in_flight = true;
+        const std::uint64_t gen = ++rr.round;
+        lock.unlock();
+        std::pair<std::uint64_t, int> res;
+        try {
+          res = quorum_pair_via(net, n_ - f_);
+        } catch (...) {
+          std::scoped_lock relock(mu_);
+          rr.in_flight = false;  // hand leadership to a parked waiter
+          cv_.notify_all();
+          throw;
+        }
+        lock.lock();
+        rr.done_round = std::max(rr.done_round, gen);
+        rr.done_sn = res.first;
+        rr.done_vid = res.second;
+        rr.in_flight = false;
+        cv_.notify_all();
+        lock.unlock();
+        return res;
+      }
+      if (target == 0) target = rr.round + 1;
+      const auto parked = [&] {
+        return rr.done_round >= target || !rr.in_flight;
+      };
+      if (retry_.op_timeout_ms > 0) {
+        if (!cv_.wait_until(lock, op_deadline, parked)) {
+          lock.unlock();
+          record_phase(obs::EventKind::kOpTimeout, self, reg_id_, owner_,
+                       target);
+          timeout_counter().add();
+          throw registers::OpTimeout(
+              "read of '" + name_ + "' by p" + std::to_string(self) +
+              " timed out after " + std::to_string(retry_.op_timeout_ms) +
+              " ms");
+        }
+      } else {
+        cv_.wait(lock, parked);
+      }
+    }
   }
 
   // The quorum loop shared by reads and recovery: broadcast READ, return
@@ -392,6 +487,7 @@ class SwmrCore {
   std::uint64_t owner_view_sn_ = 0;  // sn owner_view_ corresponds to
   std::uint64_t read_rid_ = 0;
   std::map<std::uint64_t, ReadWait> reads_;
+  std::map<int, ReadRound> read_rounds_;  // per reader pid (coalescing)
 };
 
 }  // namespace detail

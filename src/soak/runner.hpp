@@ -73,6 +73,13 @@ struct SoakConfig {
   int hot_registers = 16;  // per owner; half of all traffic lands here
   int value_pool = 1024;   // distinct values per register (bounds interning)
 
+  // Writes per client burst (design note 15). 1 = blocking write(). >1:
+  // each write turn issues up to this many overlapping write_async ops on
+  // ONE register and awaits the tickets in issue order, so owner crashes
+  // land mid-pipeline with several in-flight sns. The driver constructs
+  // the emulated space with a matching Options::pipeline_depth cap.
+  int pipeline_depth = 1;
+
   // Un-parked fault windows: impairment hits ACTIVE clients — including
   // the owner itself mid-write — and the retry/abort layer, not the park
   // gate, is what carries them through (design note 14). The victim pool
@@ -90,6 +97,7 @@ struct SoakConfig {
        << " --duration " << (duration_ms + 999) / 1000 << " --faults "
        << faults.to_string() << " --byzantine " << byzantine << " --seed "
        << seed;
+    if (pipeline_depth != 1) os << " --pipeline-depth " << pipeline_depth;
     if (unparked) os << " --unparked";
     return os.str();
   }
@@ -122,6 +130,19 @@ inline std::pair<std::uint64_t, std::uint64_t> fault_counts(
     delayed += space.shard(s).network().messages_delayed();
   }
   return {dropped, delayed};
+}
+
+// In-flight backlog (inboxes + delay pump). With pipelined writers a wedge
+// can hide behind a deep backlog rather than a silent network, so the
+// wedge forensics report it next to the stuck-operation list.
+inline std::uint64_t queued_backlog(msgpass::EmulatedSpace& space) {
+  return space.network().queued_messages();
+}
+inline std::uint64_t queued_backlog(msgpass::BatchedEmulatedSpace& space) {
+  std::uint64_t queued = 0;
+  for (int s = 0; s < space.shard_count(); ++s)
+    queued += space.shard(s).network().queued_messages();
+  return queued;
 }
 
 // One burst of forged protocol traffic from a Byzantine process (the
@@ -387,6 +408,70 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
                                               cfg.registers - 1)));
         RegEntry& entry = regs[static_cast<std::size_t>(idx)];
         Reg& reg = *static_cast<Reg*>(entry.reg);
+        if (do_write && cfg.pipeline_depth > 1) {
+          // Pipelined burst: issue up to depth overlapping write_asyncs on
+          // ONE register, then await the tickets in issue order. Owner
+          // crashes now land with several in-flight sns on a single ladder
+          // and recovery must settle each deterministically (complete or
+          // abort) — exactly what the online checker verifies. The emulated
+          // substrate's capacity gate blocks the (depth+1)-th issue; batched
+          // tickets are unbounded, so there depth just widens the burst.
+          struct InFlight {
+            int token;
+            std::uint64_t ticket;
+          };
+          std::vector<InFlight> burst;
+          burst.reserve(static_cast<std::size_t>(cfg.pipeline_depth));
+          const auto t0 = Clock::now();
+          for (int b = 0; b < cfg.pipeline_depth; ++b) {
+            const std::string v =
+                "p" + std::to_string(pid) + "#" +
+                std::to_string(counter++ %
+                               static_cast<std::uint64_t>(cfg.value_pool));
+            const int token = rec.invoke(entry.name, "write", v);
+            try {
+              burst.push_back(InFlight{token, reg.write_async(v)});
+            } catch (const std::exception& e) {
+              // The issue itself failed: the value never left the client,
+              // so the pending invocation is removed, not left dangling.
+              rec.abort(token);
+              errors.fetch_add(1, std::memory_order_relaxed);
+              liveness.error(name);
+              record_failure("write_async error on " + entry.name + " by " +
+                             name + ": " + e.what());
+              break;
+            }
+          }
+          for (const InFlight& op : burst) {
+            try {
+              reg.await(op.ticket);
+              rec.respond(op.token, "done");
+              writes.fetch_add(1, std::memory_order_relaxed);
+              liveness.success(name);
+            } catch (const registers::WriteAborted&) {
+              // Determinate negative, same as the blocking path below: the
+              // recovery fence proved the value can never deliver.
+              rec.abort(op.token);
+              write_aborts.fetch_add(1, std::memory_order_relaxed);
+              liveness.success(name);
+            } catch (const std::exception& e) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+              liveness.error(name);
+              record_failure("await error on " + entry.name + " by " + name +
+                             ": " + e.what());
+            }
+          }
+          if (!burst.empty()) {
+            // Amortized per-op latency, one histogram sample per op, so the
+            // depth-1 and depth-k write distributions stay comparable.
+            const double us =
+                std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                    .count() /
+                static_cast<double>(burst.size());
+            for (std::size_t i = 0; i < burst.size(); ++i) write_hist.add(us);
+          }
+          continue;
+        }
         try {
           const auto t0 = Clock::now();
           if (do_write) {
@@ -696,6 +781,10 @@ SoakOutcome run_soak(Space& space, const SoakConfig& cfg) {
       std::cerr << "  p" << op.pid << " " << op.name << "(" << op.object
                 << ") [decoy audit] invoked at ts " << op.invoke_ts
                 << ", never responded\n";
+    // A deep in-flight backlog means the network is still churning and the
+    // stall is starvation; a zero backlog means the protocol went silent.
+    std::cerr << "  in-flight backlog: " << detail::queued_backlog(space)
+              << " message(s) queued\n";
     // Flight-recorder forensics: which ladder stalled, and on which rung.
     const std::vector<obs::Event> events =
         obs::FlightRecorder::instance().snapshot();

@@ -54,6 +54,11 @@ using swsig::soak::SoakOutcome;
       << "  --byzantine K        Byzantine processes, <= f (default 0);\n"
       << "                       their decoy registers are sampled through\n"
       << "                       the byzantine_completion checker\n"
+      << "  --pipeline-depth D   overlapping async writes per client burst\n"
+      << "                       (default 1 = blocking writes; D > 1 makes\n"
+      << "                       each write turn issue D write_asyncs on one\n"
+      << "                       register and await them in order, so owner\n"
+      << "                       crashes land mid-pipeline). Must be >= 1.\n"
       << "  --substrate S        emulated | batched | both (default both)\n"
       << "  --n N --f F          system size (default 4/1, n > 3f)\n"
       << "  --registers R        honest registers (default 2048)\n"
@@ -69,11 +74,20 @@ SoakOutcome run_one(const SoakConfig& cfg, swsig::bench::Reporter& rep) {
             << " faults=" << cfg.faults.to_string()
             << " byzantine=" << cfg.byzantine << " seed=" << cfg.seed
             << " duration=" << cfg.duration_ms / 1000 << "s"
+            << (cfg.pipeline_depth > 1
+                    ? " pipeline-depth=" + std::to_string(cfg.pipeline_depth)
+                    : "")
             << (cfg.unparked ? " unparked" : "") << std::endl;
   SoakOutcome out;
   if (cfg.substrate == "emulated") {
-    swsig::msgpass::EmulatedSpace space(
-        swsig::msgpass::EmulatedSpace::Options{cfg.n, cfg.f, 0, true});
+    swsig::msgpass::EmulatedSpace::Options eopt;
+    eopt.n = cfg.n;
+    eopt.f = cfg.f;
+    eopt.recover_on_restart = true;
+    // The space's capacity gate must match the workload's burst depth, or
+    // the (depth+1)-th write_async would just block behind the gate.
+    eopt.pipeline_depth = cfg.pipeline_depth;
+    swsig::msgpass::EmulatedSpace space(eopt);
     out = swsig::soak::run_soak(space, cfg);
     space.stop();
   } else {
@@ -81,6 +95,9 @@ SoakOutcome run_one(const SoakConfig& cfg, swsig::bench::Reporter& rep) {
     opt.n = cfg.n;
     opt.f = cfg.f;
     opt.shards = 4;
+    // Group-commit gate matches the workload's burst depth (see the
+    // emulated branch above).
+    opt.pipeline_depth = cfg.pipeline_depth;
     swsig::msgpass::BatchedEmulatedSpace space(opt);
     out = swsig::soak::run_soak(space, cfg);
     space.stop();
@@ -135,6 +152,15 @@ int main(int argc, char** argv) {
         cfg.registers = std::stoi(value());
       } else if (arg == "--clients") {
         cfg.clients = std::stoi(value());
+      } else if (arg == "--pipeline-depth") {
+        const std::string raw = value();
+        cfg.pipeline_depth = std::stoi(raw);
+        // Same contract as FaultKinds::parse: a bad value throws
+        // invalid_argument and the handler below prints it with usage.
+        if (cfg.pipeline_depth < 1)
+          throw std::invalid_argument("invalid pipeline depth '" + raw +
+                                      "': must be >= 1 (1 = blocking "
+                                      "writes, >1 = overlapping bursts)");
       } else if (arg == "--seed") {
         cfg.seed = std::stoull(value());
       } else if (arg == "--json") {

@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -345,6 +349,113 @@ TEST(EmulatedReorder, WorksUnderMessageReordering) {
   }
   ThisProcess::Binder bind(2);
   EXPECT_EQ(reg.read(), 10);
+}
+
+// ---------------------------------------------- pipelined writes (note 15)
+
+// A burst of async writes deeper than the pipeline: every sn settles
+// exactly once (the settle callback is the proof), awaits return in issue
+// order, and the final value is the last write — on the owner's local view
+// and through a quorum read alike.
+TEST(EmulatedPipeline, AsyncBurstSettlesEverySnExactlyOnce) {
+  EmulatedSpace space({.n = 4, .f = 1, .pipeline_depth = 4});
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  std::mutex mu;
+  std::map<std::uint64_t, int> settles;  // sn -> callback count
+  std::vector<std::uint64_t> sns;
+  {
+    ThisProcess::Binder bind(1);
+    for (int v = 1; v <= 8; ++v) {  // 8 writes through a depth-4 window
+      sns.push_back(reg.write_async(v, [&](std::uint64_t sn, bool aborted) {
+        std::scoped_lock lock(mu);
+        ++settles[sn];
+        EXPECT_FALSE(aborted) << "sn " << sn;
+      }));
+    }
+    for (const std::uint64_t sn : sns) reg.await(sn);
+    EXPECT_EQ(reg.read(), 8);  // owner view already reflects the burst
+  }
+  // The last callback runs on the server thread that saw the quorum; give
+  // it a bounded moment to land before asserting exactly-once.
+  for (int spin = 0; spin < 2000; ++spin) {
+    {
+      std::scoped_lock lock(mu);
+      if (settles.size() == sns.size()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::scoped_lock lock(mu);
+    ASSERT_EQ(settles.size(), sns.size());
+    for (const std::uint64_t sn : sns)
+      EXPECT_EQ(settles.at(sn), 1) << "sn " << sn;
+  }
+  // sns are allocated strictly increasing — no reuse across the window.
+  for (std::size_t i = 1; i < sns.size(); ++i) EXPECT_GT(sns[i], sns[i - 1]);
+  ThisProcess::Binder bind(2);
+  EXPECT_EQ(reg.read(), 8);
+}
+
+// Depth 1 (the default) must behave like the blocking protocol: a second
+// write_async blocks in the capacity gate until the first is settled, so
+// issuing + awaiting one at a time is just write() — and traces stay
+// byte-identical (tests/batched_msgpass_test.cpp pins the trace; here we
+// pin the client-visible semantics).
+TEST(EmulatedPipeline, DepthOneIsTheBlockingProtocol) {
+  EmulatedSpace space({.n = 4, .f = 1});  // pipeline_depth defaults to 1
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  {
+    ThisProcess::Binder bind(1);
+    for (int v = 1; v <= 5; ++v) reg.await(reg.write_async(v));
+  }
+  ThisProcess::Binder bind(3);
+  EXPECT_EQ(reg.read(), 5);
+}
+
+// Read coalescing (design note 15): concurrent readers of one process
+// share quorum rounds instead of each broadcasting its own READ. The
+// recorded history of overlapping reads racing a writer must still be
+// linearizable, and the coalesce counter must show the sharing actually
+// happened (otherwise the test silently degenerates to sequential reads).
+TEST(EmulatedPipeline, CoalescedReadBurstsLinearize) {
+  EmulatedSpace space({.n = 4, .f = 1});
+  auto& reg = space.make_swmr<int>(1, 0, "r");
+  lincheck::HistoryRecorder rec;
+  const std::uint64_t coalesced0 = detail::coalesce_counter().value();
+
+  std::thread writer([&] {
+    ThisProcess::Binder bind(1);
+    for (int v = 1; v <= 24; ++v) {
+      rec.record("r", "write", std::to_string(v),
+                 [&] { reg.write(v); return true; },
+                 [](bool) { return std::string("done"); });
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      // All four threads bind as process 2: same-pid concurrent reads are
+      // the coalescing unit (joiners adopt the next led round).
+      ThisProcess::Binder bind(2);
+      for (int i = 0; i < 32; ++i) {
+        rec.record("r", "read", "", [&] { return reg.read(); },
+                   [](int x) { return std::to_string(x); });
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(detail::coalesce_counter().value(), coalesced0)
+      << "no read ever shared a round: the burst did not overlap";
+  const auto ops = rec.operations();
+  ASSERT_EQ(ops.size(), 24u + 4u * 32u);
+  const lincheck::SpecFactory factory = [](const std::string&) {
+    return std::make_unique<lincheck::PlainRegisterSpec>("0");
+  };
+  const auto result = lincheck::check_linearizable(ops, factory);
+  EXPECT_EQ(result.verdict, lincheck::Verdict::kLinearizable)
+      << result.detail << " (states=" << result.states_explored << ")";
 }
 
 // --------------------------------------------------- witness broadcast

@@ -16,6 +16,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -176,6 +180,157 @@ TEST(OwnerCrash, RetryCarriesLiveClientThroughTotalLossWindow) {
   space.stop();
 }
 
+// Pipelined writes (design note 15), deterministic flavor: every sn of a
+// burst issued AFTER the owner crashed is squelched at the network, so
+// recovery must fence-abort all of them — and it decides the sns in
+// ascending order (a later sn never settles before an earlier one is
+// decided), which the settle callbacks observe directly.
+TEST(OwnerCrash, PipelinedUndeliveredBurstAbortsInAscendingSnOrder) {
+  EmulatedSpace::Options opt{.n = 4, .f = 1};
+  opt.retry.base_ms = 5000;  // no retry can race the recovery fence
+  opt.pipeline_depth = 4;
+  EmulatedSpace space(opt);
+  auto& reg = space.make_swmr<std::string>(1, "v0", "r");
+  {
+    ThisProcess::Binder bind(1);
+    reg.write("v1");
+  }
+  space.crash(1);
+
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, bool>> settled;  // (sn, aborted)
+  std::vector<std::uint64_t> issued;
+  {
+    // The capacity gate (depth 4) admits three unsettled writes without
+    // blocking; their broadcasts are discarded — no server ever sees them.
+    ThisProcess::Binder bind(1);
+    for (int i = 0; i < 3; ++i)
+      issued.push_back(reg.write_async(
+          "lost" + std::to_string(i), [&](std::uint64_t sn, bool aborted) {
+            std::scoped_lock lock(mu);
+            settled.emplace_back(sn, aborted);
+          }));
+  }
+  space.restart(1);  // recovery fences sn 2, 3, 4 — ascending, all aborted
+
+  {
+    std::scoped_lock lock(mu);
+    ASSERT_EQ(settled.size(), issued.size());
+    for (std::size_t i = 0; i < settled.size(); ++i) {
+      EXPECT_EQ(settled[i].first, issued[i]) << "settle order broke at " << i;
+      EXPECT_TRUE(settled[i].second) << "sn " << settled[i].first;
+    }
+  }
+  {
+    ThisProcess::Binder bind(1);
+    for (const std::uint64_t sn : issued)
+      EXPECT_THROW(reg.await(sn), registers::WriteAborted) << "sn " << sn;
+  }
+  {
+    ThisProcess::Binder bind(2);
+    EXPECT_EQ(reg.read(), "v1");
+  }
+  // The aborted sns were burned, not reused: the owner writes on normally.
+  {
+    ThisProcess::Binder bind(1);
+    reg.write("v2");
+  }
+  ThisProcess::Binder bind(3);
+  EXPECT_EQ(reg.read(), "v2");
+  space.stop();
+}
+
+// Pipelined writes, adversarial flavor: the owner dies at an arbitrary
+// point of a stream of depth-4 bursts. Every issued sn must still get a
+// DETERMINATE outcome from await (completed or WriteAborted — never a
+// timeout, never a third thing), the final readable value is the highest
+// completed write, and no aborted value is ever visible.
+TEST(OwnerCrash, PipelinedCrashMidBurstSettlesEverySn) {
+  for (int iter = 1; iter <= 3; ++iter) {
+    EmulatedSpace::Options opt{.n = 4, .f = 1};
+    opt.pipeline_depth = 4;
+    EmulatedSpace space(opt);
+    auto& reg = space.make_swmr<std::string>(1, "v0", "r");
+
+    std::atomic<int> progressed{0};
+    std::map<std::uint64_t, std::string> completed;  // writer-only until join
+    std::set<std::string> aborted;
+    std::thread writer([&] {
+      ThisProcess::Binder bind(1);
+      int v = 0;
+      for (int burst = 0; burst < 6; ++burst) {
+        std::vector<std::pair<std::uint64_t, std::string>> inflight;
+        for (int i = 0; i < 4; ++i) {
+          const std::string val = "v" + std::to_string(++v);
+          inflight.emplace_back(reg.write_async(val), val);
+        }
+        for (const auto& [sn, val] : inflight) {
+          try {
+            reg.await(sn);
+            completed.emplace(sn, val);
+            progressed.fetch_add(1, std::memory_order_release);
+          } catch (const registers::WriteAborted&) {
+            aborted.insert(val);
+          } catch (...) {
+            ADD_FAILURE() << "indeterminate outcome for sn " << sn;
+          }
+        }
+      }
+    });
+    while (progressed.load(std::memory_order_acquire) < 2 * iter)
+      std::this_thread::yield();
+    space.crash(1);  // lands mid-burst: several sns are in flight
+    std::this_thread::sleep_for(std::chrono::milliseconds(15 * iter));
+    space.restart(1);
+    writer.join();
+
+    ASSERT_FALSE(completed.empty());
+    const std::string expect = completed.rbegin()->second;  // highest sn
+    ThisProcess::Binder bind(2);
+    const std::string got = reg.read();
+    EXPECT_EQ(got, expect) << "iter " << iter;
+    EXPECT_FALSE(aborted.contains(got))
+        << "aborted value resurfaced, iter " << iter;
+    space.stop();
+  }
+}
+
+// Retry storm mid-pipeline: a depth-4 burst is issued while 100% of the
+// owner's traffic is dropped. The awaits drive per-sn retries; once the
+// window heals, every sn of the burst completes — no abort, no timeout.
+TEST(OwnerCrash, RetryCarriesPipelinedBurstThroughTotalLossWindow) {
+  EmulatedSpace::Options opt{.n = 4, .f = 1};
+  opt.pipeline_depth = 4;
+  EmulatedSpace space(opt);
+  auto& reg = space.make_swmr<std::string>(1, "v0", "r");
+  soak::FaultSchedule sched({.seed = 5,
+                             .kinds = soak::FaultKinds::parse("drop"),
+                             .victims = {1},
+                             .period_ms = 100000,
+                             .active_ms = 100000,
+                             .drop_permille = 1000});
+  space.network().set_fault_injector(&sched);
+  sched.engage(true);
+  const std::uint64_t retries0 = detail::retry_counter().value();
+  std::thread writer([&] {
+    ThisProcess::Binder bind(1);
+    std::vector<std::uint64_t> burst;
+    for (int i = 1; i <= 4; ++i)
+      burst.push_back(reg.write_async("v" + std::to_string(i)));
+    for (const std::uint64_t sn : burst) reg.await(sn);  // parks, retries
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  sched.engage(false);  // heal: backoff retries re-drive all four ladders
+  writer.join();
+  EXPECT_GT(detail::retry_counter().value(), retries0);
+  space.network().set_fault_injector(nullptr);
+  {
+    ThisProcess::Binder bind(2);
+    EXPECT_EQ(reg.read(), "v4");
+  }
+  space.stop();
+}
+
 // Batched substrate: the shard leader's in-flight (origin, round) is
 // re-led on restart — BWRITE re-issue is idempotent at servers (digest
 // dedup), so every submitted write still completes exactly once.
@@ -198,6 +353,41 @@ TEST(OwnerCrash, BatchedLeaderCrashRecoversInFlightBatch) {
   {
     ThisProcess::Binder bind(2);
     EXPECT_EQ(reg.read(), "v20");
+  }
+  space.stop();
+}
+
+// Same, with the pipeline group-commit gate engaged (depth 4): the owner
+// dies with a whole window of async ops split between the in-flight round
+// and the pending queue. Recovery is complete-only on this substrate —
+// re-lead the interrupted round, then await() flushes what was queued — so
+// every ticket still completes; nothing aborts and nothing is lost.
+TEST(OwnerCrash, BatchedLeaderCrashMidPipelinedBurst) {
+  BatchedEmulatedSpace space(
+      {.n = 4, .f = 1, .shards = 1, .batch_max = 4, .pipeline_depth = 4});
+  auto& reg = space.make_swmr<std::string>(1, "v0", "r");
+  std::atomic<int> acked{0};
+  std::thread writer([&] {
+    ThisProcess::Binder bind(1);
+    int v = 0;
+    for (int burst = 0; burst < 6; ++burst) {
+      std::vector<std::uint64_t> tickets;
+      for (int i = 0; i < 4; ++i)
+        tickets.push_back(reg.write_async("v" + std::to_string(++v)));
+      for (const std::uint64_t t : tickets) {
+        reg.await(t);
+        acked.fetch_add(1, std::memory_order_release);
+      }
+    }
+  });
+  while (acked.load(std::memory_order_acquire) < 5) std::this_thread::yield();
+  space.crash(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  space.restart(1);
+  writer.join();
+  {
+    ThisProcess::Binder bind(2);
+    EXPECT_EQ(reg.read(), "v24");
   }
   space.stop();
 }

@@ -42,8 +42,10 @@ OPEN_KINDS = ("write_start", "round_lead")
 CLOSE_KINDS = ("write_done", "round_complete")
 PHASE_KINDS = set(PHASE_ORDER)
 # Retry-layer events ride their op's (reg, origin, sn) key and are shown
-# inside the ladder timeline, but are not protocol rungs.
-EXTRA_KINDS = {"op_retry", "op_timeout", "write_abort"}
+# inside the ladder timeline, but are not protocol rungs. read_coalesced
+# (a reader adopting another same-pid round's result) is keyed by round
+# generation, never a rung, so it lands in the non-ladder summary.
+EXTRA_KINDS = {"op_retry", "op_timeout", "write_abort", "read_coalesced"}
 TIMELINE_KINDS = PHASE_KINDS | EXTRA_KINDS
 # Partition events carry the cut direction in aux (soak::PartitionMode).
 PARTITION_MODES = {0: "symmetric", 1: "inbound", 2: "outbound"}
@@ -123,6 +125,44 @@ def is_stalled(ladder_events):
     return opened and not closed and not delivered and not aborted
 
 
+def inflight_span(ladder_events):
+    """The ladder's in-flight interval: opened at its first event, settled
+    at close/deliver/abort (or its last event if it never settled)."""
+    ts = sorted(e["ts_us"] for e in ladder_events)
+    settle = None
+    for e in ladder_events:
+        if e["kind"] in CLOSE_KINDS or e["kind"] in ("deliver", "write_abort"):
+            settle = e["ts_us"] if settle is None else max(settle, e["ts_us"])
+    return ts[0], ts[-1] if settle is None else settle
+
+
+def overlap_groups(ladders):
+    """Pipelined writers: per (reg, origin), the max number of ladders
+    simultaneously in flight, for owners that ever had >= 2 overlapping.
+    Returns {(reg, origin): (max_depth, first_sn, last_sn, ladder_count)}."""
+    by_owner = {}
+    for (reg, origin, sn), evs in ladders.items():
+        by_owner.setdefault((reg, origin), []).append((sn, inflight_span(evs)))
+    groups = {}
+    for owner, spans in by_owner.items():
+        if len(spans) < 2:
+            continue
+        points = []
+        for _, (start, end) in spans:
+            points.append((start, 1))
+            points.append((end, -1))
+        depth = cur = 0
+        # Sorting (ts, delta) puts a settle before an open at the same
+        # instant, so back-to-back sequential writes don't count as overlap.
+        for _, delta in sorted(points):
+            cur += delta
+            depth = max(depth, cur)
+        if depth >= 2:
+            sns = sorted(sn for sn, _ in spans)
+            groups[owner] = (depth, sns[0], sns[-1], len(spans))
+    return groups
+
+
 def render_ladder(key, ladder_events, out):
     reg, origin, sn = key
     t0 = ladder_events[0]["ts_us"]
@@ -138,7 +178,12 @@ def render_ladder(key, ladder_events, out):
           f"[{status}] ({len(ladder_events)} events, {span:.1f} us)", file=out)
     for e in sorted(ladder_events, key=lambda e: e["ts_us"]):
         rel = e["ts_us"] - t0
-        extra = f" aux={e['aux']}" if e["aux"] else ""
+        if e["kind"] == "write_start":
+            # aux = pipeline slot: how many of the owner's other writes were
+            # in flight at issue (0 = a plain, unpipelined write).
+            extra = f" slot={e['aux']}"
+        else:
+            extra = f" aux={e['aux']}" if e["aux"] else ""
         print(f"  +{rel:10.1f}us p{e['pid']:<3} {e['kind']}{extra}", file=out)
 
 
@@ -166,16 +211,24 @@ def render(events, out, reg=None, origin=None, last=None):
         keys = [k for k in keys if k[0] == reg]
     if origin is not None:
         keys = [k for k in keys if k[1] == origin]
-    # Ladders needing attention first — stalled AND aborted, oldest first —
-    # then the rest by first event.
+    # Ladders needing attention first — stalled AND aborted — then grouped
+    # by (reg, origin) with sns ascending, so a pipelined owner's
+    # overlapping ladders read as one in-order pipeline.
     keys.sort(key=lambda k: (not (is_stalled(ladders[k]) or
                                   is_aborted(ladders[k])),
-                             ladders[k][0]["ts_us"]))
+                             k[0], k[1], k[2]))
     if last is not None:
         keys = keys[:last]
     stalled = sum(1 for k in keys if is_stalled(ladders[k]))
     print(f"{len(events)} events, {len(ladders)} ladders "
           f"({stalled} stalled shown of {len(keys)} rendered)", file=out)
+    groups = overlap_groups({k: ladders[k] for k in keys})
+    if groups:
+        print("pipelined writers (overlapping in-flight ladders):", file=out)
+        for (greg, gorigin) in sorted(groups):
+            depth, lo, hi, count = groups[(greg, gorigin)]
+            print(f"  reg={greg} origin=p{gorigin}: max {depth} in flight "
+                  f"over {count} ladders, sn {lo}..{hi}", file=out)
     for k in keys:
         render_ladder(k, ladders[k], out)
     summarize_other(events, out)
@@ -204,6 +257,11 @@ EV 42.0 1 write_abort OTHER 9 1 44 0 0
 EV 50.0 2 op_retry OTHER 7 1 999 80 0
 EV 51.0 4 partition_cut OTHER -1 4 12 1 0
 EV 52.0 4 partition_heal OTHER -1 4 12 1 0
+EV 53.0 2 read_coalesced OTHER 8 1 3 43 0
+EV 60.0 1 write_start OTHER 12 1 100 0 0
+EV 61.0 1 write_start OTHER 12 1 101 1 0
+EV 65.0 1 write_done OTHER 12 1 100 500 0
+EV 66.0 1 write_done OTHER 12 1 101 500 0
 this line is garbage
 EV bad 1 echo OTHER 1 1 1 0 0
 """
@@ -220,13 +278,13 @@ def run_self_test():
         print(f"self-test: {'ok  ' if cond else 'FAIL'} {name}")
 
     events, warnings = parse_trace(SAMPLE.splitlines())
-    check("parses well-formed events", len(events) == 18)
+    check("parses well-formed events", len(events) == 23)
     # The prose garbage line is silently skipped (not an EV record); the
     # "EV bad ..." line has 10 fields but a bad float -> one warning.
     check("warns on bad numeric field", len(warnings) == 1)
 
     ladders = ladders_of(events)
-    check("three ladders found", len(ladders) == 3)
+    check("five ladders found", len(ladders) == 5)
     stalled_key = (7, 1, 42)
     done_key = (8, 1, 43)
     aborted_key = (9, 1, 44)
@@ -242,6 +300,15 @@ def run_self_test():
     check("retry events do not advance the rung",
           last_phase(ladders[aborted_key]) == "write_start")
     check("rungless retry group is not a ladder", (7, 1, 999) not in ladders)
+    check("rungless read_coalesced group is not a ladder",
+          (8, 1, 3) not in ladders)
+
+    # The pipelined owner: two ladders of reg 12 / p1 whose in-flight spans
+    # ([60,65] and [61,66]) overlap; everything else is sequential.
+    groups = overlap_groups(ladders)
+    check("one pipelined owner found", list(groups) == [(12, 1)])
+    check("pipeline depth and sn range reported",
+          groups[(12, 1)] == (2, 100, 101, 2))
 
     out = io.StringIO()
     stalled = render(events, out)
@@ -256,9 +323,17 @@ def run_self_test():
           text.index("sn=44") < text.index("sn=43"))
     check("retry shows inside the aborted ladder timeline",
           "op_retry aux=40" in text)
+    check("write_start renders its pipeline slot", "write_start slot=1" in text)
+    check("overlap summary names the pipelined owner",
+          "reg=12 origin=p1: max 2 in flight over 2 ladders, sn 100..101"
+          in text)
+    check("pipelined sns render in order within the origin",
+          text.index("sn=100") < text.index("sn=101"))
     check("non-ladder summary includes send.WRITE", "send.WRITE: 1" in text)
     check("non-ladder summary includes crash", "crash: 1" in text)
     check("non-ladder summary counts retries", "op_retry: 2" in text)
+    check("non-ladder summary counts coalesced reads",
+          "read_coalesced: 1" in text)
     check("partition events carry the cut direction",
           "partition_cut.inbound: 1" in text and
           "partition_heal.inbound: 1" in text)
