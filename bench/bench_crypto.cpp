@@ -27,14 +27,23 @@ int main(int argc, char** argv) {
   }
   ta.print();
 
-  bench::heading("T11b — HMAC-SHA256");
-  util::Table tb({"message size", "us/op"});
+  bench::heading("T11b — HMAC-SHA256 (one-shot vs precomputed schedule)");
+  util::Table tb({"message size", "one-shot us", "schedule us", "speedup"});
   for (std::size_t size : {8u, 64u, 1024u}) {
     const std::string msg(size, 'x');
-    const double us = bench::sample_latency(1000, [&] {
-                        crypto::hmac_sha256("key", msg);
-                      }).median();
-    tb.add_row({std::to_string(size) + " B", util::Table::num(us)});
+    const double oneshot_us = bench::sample_latency(1000, [&] {
+                                crypto::hmac_sha256("key", msg);
+                              }).median();
+    const crypto::HmacSchedule sched("key");
+    const double sched_us = bench::sample_latency(1000, [&] {
+                              crypto::hmac_sha256(sched, msg);
+                            }).median();
+    tb.add_row({std::to_string(size) + " B", util::Table::num(oneshot_us),
+                util::Table::num(sched_us),
+                util::Table::num(oneshot_us / sched_us, 2) + "x"});
+    const std::string sz = std::to_string(size) + "B_us";
+    report.metric("crypto.hmac_oneshot." + sz, oneshot_us);
+    report.metric("crypto.hmac_sched." + sz, sched_us);
   }
   tb.print();
 
@@ -61,5 +70,45 @@ int main(int argc, char** argv) {
     report.metric(tag + ".verify_us", verify_us);
   }
   tc.print();
+
+  bench::heading("T11d — verify amortization (cache + batch, n=10 quorum)");
+  {
+    constexpr int kN = 10;
+    crypto::SignatureAuthority auth({.n = kN, .seed = 1});
+    const std::string msg =
+        crypto::encode_message("swsig.bench.t11d", 1, std::uint64_t{42});
+    std::vector<crypto::Signature> sigs;
+    for (int pid = 1; pid <= kN; ++pid) {
+      runtime::ThisProcess::Binder bind(pid);
+      sigs.push_back(auth.sign(pid, msg));
+    }
+    runtime::ThisProcess::Binder bind(1);
+    const double cold_us =
+        bench::sample_latency(500, [&] { auth.verify(msg, sigs[0]); })
+            .median();
+    (void)auth.verify_cached(msg, sigs[0]);  // prove once
+    const double cached_us =
+        bench::sample_latency(500, [&] { auth.verify_cached(msg, sigs[0]); })
+            .median();
+    // Batch: the whole quorum round's signatures in one verify_all call,
+    // through a cold cache each iteration (fresh authority) is dominated by
+    // construction — instead measure the steady state: proven signatures,
+    // shared digest.
+    std::vector<crypto::SignatureAuthority::VerifyEntry> entries;
+    for (const auto& s : sigs) entries.push_back({msg, &s});
+    (void)auth.verify_all(entries);  // prove all once
+    const double batch_us = bench::sample_latency(500, [&] {
+                              auth.verify_all(entries);
+                            }).median();
+    util::Table td({"path", "us/op"});
+    td.add_row({"verify (uncached)", util::Table::num(cold_us)});
+    td.add_row({"verify_cached (hit)", util::Table::num(cached_us)});
+    td.add_row({"verify_all, " + std::to_string(kN) + " sigs (hot)",
+                util::Table::num(batch_us)});
+    td.print();
+    report.metric("crypto.verify_uncached_us", cold_us);
+    report.metric("crypto.verify_cached_hit_us", cached_us);
+    report.metric("crypto.verify_all_n10_hot_us", batch_us);
+  }
   return 0;
 }

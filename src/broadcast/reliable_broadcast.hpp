@@ -35,7 +35,11 @@
 #include "core/sticky_register.hpp"
 #include "core/types.hpp"
 #include "core/version_gate.hpp"
+#include "crypto/encoding.hpp"
+#include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
+#include "crypto/verified_cache.hpp"
+#include "obs/recorder.hpp"
 #include "registers/space.hpp"
 #include "runtime/process.hpp"
 
@@ -222,18 +226,25 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
     rec.sig = auth_->sign(self, msg);
     publish_at(self, seq)->write(rec);
     // Wait for n−f acknowledgments (including our own, produced by our
-    // helper) and assemble the certificate.
+    // helper) and assemble the certificate. Each pass batch-verifies the
+    // candidate acks — one shared message digest, and previously-proven
+    // signatures resolve from the verified cache instead of re-MACing.
     for (;;) {
-      std::map<int, crypto::Signature> cert;
+      std::vector<std::pair<int, crypto::Signature>> candidates;
       for (int i = 1; i <= cfg_.n; ++i) {
         const AckMap am = acks_[static_cast<std::size_t>(i)]->read();
         const auto it = am.find({self, seq});
         if (it != am.end() && it->second.value == value &&
-            auth_->verify(msg, it->second.sig) &&
-            it->second.sig.signer == i) {
-          cert[i] = it->second.sig;
-        }
+            it->second.sig.signer == i)
+          candidates.emplace_back(i, it->second.sig);
       }
+      std::vector<crypto::SignatureAuthority::VerifyEntry> entries;
+      entries.reserve(candidates.size());
+      for (const auto& [pid, sig] : candidates) entries.push_back({msg, &sig});
+      auth_->verify_all(entries);
+      std::map<int, crypto::Signature> cert;
+      for (std::size_t idx = 0; idx < candidates.size(); ++idx)
+        if (entries[idx].ok) cert[candidates[idx].first] = candidates[idx].second;
       if (static_cast<int>(cert.size()) >= cfg_.n - cfg_.f) {
         rec.cert = std::move(cert);
         publish_at(self, seq)->write(rec);
@@ -282,7 +293,7 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
         const Record rec = publish_at(sender, seq)->read();
         if (!rec.present) continue;
         const std::string msg = slot_msg(sender, seq, rec.value);
-        if (rec.sig.signer != sender || !auth_->verify(msg, rec.sig))
+        if (rec.sig.signer != sender || !auth_->verify_cached(msg, rec.sig))
           continue;
         const AckMap mine = acks_[static_cast<std::size_t>(self)]->read();
         if (mine.contains({sender, seq})) continue;  // ack once per slot
@@ -305,9 +316,30 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
     return std::string(kind) + std::to_string(pid) + "." +
            std::to_string(seq);
   }
+  // Framed signing statement for one slot: domain-tagged and
+  // length-prefixed (crypto/encoding.hpp), so no two (sender, seq, value)
+  // triples — and no statement of another protocol — share an encoding.
   static std::string slot_msg(int sender, int seq, Value value) {
-    return "rb|" + std::to_string(sender) + "|" + std::to_string(seq) + "|" +
-           std::to_string(value);
+    return crypto::encode_message("swsig.rb.slot", sender, seq, value);
+  }
+
+  // Digest committing to a record's full certificate: the slot statement
+  // plus every aggregated (signer, tag) pair, in signer order. Two records
+  // differing in any acknowledged signature (or the certified statement)
+  // get different digests, so an interner hit implies this exact
+  // certificate was fully verified before.
+  static crypto::Digest cert_digest(const std::string& msg,
+                                    const Record& rec) {
+    crypto::Sha256 h;
+    std::string buf = crypto::encode_message("swsig.rb.cert", msg);
+    for (const auto& [pid, sig] : rec.cert) {
+      crypto::encode_field(buf, pid);
+      crypto::encode_field(
+          buf, std::string_view(reinterpret_cast<const char*>(sig.tag.data()),
+                                sig.tag.size()));
+    }
+    h.update(buf);
+    return h.finish();
   }
 
   registers::Swmr<Record>* publish_at(int pid, int seq) {
@@ -315,13 +347,30 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
                    [static_cast<std::size_t>(seq)];
   }
 
+  // Validates a record's aggregate certificate. The first full validation
+  // of a certificate interns its digest; every later check of the same
+  // certificate — every deliver poll, every process — is one digest plus
+  // one interner lookup instead of n−f signature verifications.
   bool valid_cert(int sender, int seq, const Record& rec) const {
     if (static_cast<int>(rec.cert.size()) < cfg_.n - cfg_.f) return false;
     const std::string msg = slot_msg(sender, seq, rec.value);
-    int good = 0;
+    const crypto::Digest digest = cert_digest(msg, rec);
+    if (interner_.find(digest).has_value()) return true;
+    std::vector<crypto::SignatureAuthority::VerifyEntry> entries;
+    entries.reserve(rec.cert.size());
     for (const auto& [pid, sig] : rec.cert)
-      if (sig.signer == pid && auth_->verify(msg, sig)) ++good;
-    return good >= cfg_.n - cfg_.f;
+      if (sig.signer == pid) entries.push_back({msg, &sig});
+    if (auth_->verify_all(entries) < static_cast<std::size_t>(cfg_.n - cfg_.f))
+      return false;
+    const std::uint64_t handle = interner_.intern(digest);
+    obs::Event e;
+    e.kind = obs::EventKind::kCertIntern;
+    e.pid = static_cast<std::int16_t>(runtime::ThisProcess::id());
+    e.origin = sender;
+    e.sn = static_cast<std::uint64_t>(seq);
+    e.aux = handle;
+    obs::record(e);
+    return true;
   }
 
   registers::Space* space_;
@@ -331,6 +380,7 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
   std::vector<registers::Swmr<AckMap>*> acks_;
   std::vector<registers::Swmr<RelayMap>*> relays_;
   core::detail::SpaceEpochGate epoch_gate_;
+  mutable crypto::CertInterner interner_;
 };
 
 }  // namespace swsig::broadcast

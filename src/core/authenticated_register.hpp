@@ -93,6 +93,7 @@ class AuthenticatedRegister {
       round_[k] =
           &space.template make_swmr<RoundCounter>(k, 0, "C" + std::to_string(k));
     help_state_.resize(n + 1);
+    verified_.resize(n + 1);
   }
 
   const Config& config() const { return cfg_; }
@@ -128,6 +129,19 @@ class AuthenticatedRegister {
   // VerifiableRegister::verify).
   bool verify(const V& v) {
     const int k = require_reader("Verify");
+    // Free-mode fast paths — same soundness arguments as
+    // VerifiableRegister::verify: positive Verify verdicts are permanent
+    // (cacheable per process), and >= n−f attesting registers — counting
+    // the writer's R_1 as slot 1, exactly as L33 does — imply >= f+1
+    // honest attesters, which is the evidence standard of L22.
+    if (fast_path()) {
+      auto& seen = verified_[static_cast<std::size_t>(k)];
+      if (seen.contains(v)) return true;
+      if (witness_scan(v)) {
+        seen.insert(v);
+        return true;
+      }
+    }
     std::set<int> set0, set1;  // L10
     ChannelCache cache(fast_path() ? cfg_.n : 0);
     for (;;) {                 // L11
@@ -153,7 +167,13 @@ class AuthenticatedRegister {
             chosen_tuple = std::move(t);
           }
         }
-        if (chosen == 0) std::this_thread::yield();
+        if (chosen == 0) {
+          if (fast_path() && witness_scan(v)) {
+            verified_[static_cast<std::size_t>(k)].insert(v);
+            return true;
+          }
+          std::this_thread::yield();
+        }
       }
       if (chosen_tuple.first.contains(v)) {  // L17
         set1.insert(chosen);                 // L18
@@ -161,8 +181,10 @@ class AuthenticatedRegister {
       } else {                               // L20
         set0.insert(chosen);                 // L21
       }
-      if (static_cast<int>(set1.size()) >= cfg_.n - cfg_.f)  // L22
+      if (static_cast<int>(set1.size()) >= cfg_.n - cfg_.f) {  // L22
+        if (fast_path()) verified_[static_cast<std::size_t>(k)].insert(v);
         return true;
+      }
       if (static_cast<int>(set0.size()) > cfg_.f)            // L23
         return false;
     }
@@ -259,6 +281,23 @@ class AuthenticatedRegister {
     }
   };
 
+  // True iff >= n−f registers currently attest v, counting the writer's
+  // R_1 (values of its stamped set) as slot 1.
+  bool witness_scan(const V& v) {
+    int count = 0;
+    const StampedSet r = writer_set_->read();
+    for (const Stamped& sv : r)
+      if (sv.second == v) {
+        ++count;
+        break;
+      }
+    if (count >= cfg_.n - cfg_.f) return true;
+    for (int i = 2; i <= cfg_.n; ++i)
+      if (witness_[i]->read().contains(v) && ++count >= cfg_.n - cfg_.f)
+        return true;
+    return false;
+  }
+
   bool fast_path() const {
     if constexpr (kVersionGate)
       return space_->free_mode();
@@ -296,6 +335,9 @@ class AuthenticatedRegister {
 
   SeqNo seq_ = 0;  // ℓ — writer-local (p1's operation thread only)
   std::vector<HelpState> help_state_;
+
+  // Per-process positive-verify memo (free mode only; see verify()).
+  std::vector<ValueSet> verified_;
 };
 
 }  // namespace swsig::core

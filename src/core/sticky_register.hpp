@@ -123,6 +123,21 @@ class StickyRegister {
   // unique written value, or std::nullopt for ⊥.
   Slot read() {
     const int k = require_reader("Read");
+    // Free-mode fast path: scan the witness registers directly. If some v
+    // holds >= n−f witness slots, return it without entering the round
+    // protocol (no counter bump, no helper wakeup). Sound because at most
+    // one value can ever reach n−f witness slots: two such quorums
+    // intersect in >= n−2f >= f+1 processes, hence in an honest process,
+    // and honest witness slots are write-once — so a second value's quorum
+    // is impossible at any time. The value returned satisfies exactly the
+    // L20-21 return condition (n−f distinct processes witnessing v), read
+    // from the same registers the helpers would have relayed. ⊥ results
+    // MUST still use the full protocol: concluding "no write" requires
+    // f+1 distinct processes asserting ⊥ *after* the read began (L22),
+    // which only the round counter provides.
+    if (fast_path()) {
+      if (Slot v = witness_scan(); v.has_value()) return v;
+    }
     std::set<int> set_bot;       // set⊥  — L7
     std::map<int, V> setval;     // setval as pj -> value
     // Free-mode cached channel collection — see VerifiableRegister::verify.
@@ -152,7 +167,14 @@ class StickyRegister {
             chosen_tuple = std::move(t);
           }
         }
-        if (chosen == 0) std::this_thread::yield();
+        if (chosen == 0) {
+          // While waiting on helpers, the witness quorum may complete —
+          // the scan's soundness argument is position-independent.
+          if (fast_path()) {
+            if (Slot v = witness_scan(); v.has_value()) return v;
+          }
+          std::this_thread::yield();
+        }
       }
       if (chosen_tuple.first.has_value()) {          // L15: u_j != ⊥
         setval.emplace(chosen, *chosen_tuple.first); // L16
@@ -187,22 +209,42 @@ class StickyRegister {
     // writes we already made — skip it. Our own writes during a round bump
     // the aggregate, which costs at most one extra (idle) round before the
     // state quiesces.
+    //
+    // Once this helper has both echoed and witnessed, L25-30 and L34-36
+    // are permanent no-ops (its slots are write-once and already set), so
+    // the only inputs that can still demand work are the round counters —
+    // the aggregate shrinks from 3n−1 version reads to n−1. The helper
+    // keeps serving askers forever; settling only prunes the wakeup scan.
     const bool gate = fast_path();
     std::uint64_t agg = 0;
     if (gate) {
-      for (int i = 1; i <= cfg_.n; ++i)
-        agg += slot_version(echo_, i) + slot_version(witness_, i);
+      const bool settled_now =
+          hs.settled ||
+          (echo_[j]->read().has_value() && witness_[j]->read().has_value());
+      if (settled_now != hs.settled) {
+        hs.settled = settled_now;
+        hs.agg_valid = false;  // aggregate composition changed
+      }
+      if (!hs.settled)
+        for (int i = 1; i <= cfg_.n; ++i)
+          agg += slot_version(echo_, i) + slot_version(witness_, i);
       for (int k = 2; k <= cfg_.n; ++k) agg += round_version(k);
       if (hs.agg_valid && agg == hs.round_agg) return false;
     }
 
     // L25-27: echo the first value seen in E1. The conditional update keeps
-    // this race-free against p1's own Write (see Swmr::update).
+    // this race-free against p1's own Write (see Swmr::update). Writing ⊥
+    // over ⊥ would be a semantic no-op but still bumps the register version
+    // and space epoch, waking every helper of every register in the space —
+    // with E1 still ⊥ that feedback loop makes idle helpers churn forever.
+    // Skip the store until there is a value to echo.
     if (!echo_[j]->read().has_value()) {
       const Slot e1 = echo_[1]->read();  // L26
-      echo_[j]->update([&](Slot& ej) {   // L27
-        if (!ej.has_value()) ej = e1;
-      });
+      if (e1.has_value()) {
+        echo_[j]->update([&](Slot& ej) {  // L27
+          if (!ej.has_value()) ej = e1;
+        });
+      }
     }
 
     // L28-30: become a witness of v on n−f matching echoes.
@@ -274,11 +316,23 @@ class StickyRegister {
     std::map<int, RoundCounter> prev_ck;  // L23
     std::uint64_t round_agg = 0;  // aggregate version at last completed round
     bool agg_valid = false;
+    bool settled = false;  // own echo+witness set; agg is round counters only
     void record_agg(std::uint64_t agg) {
       round_agg = agg;
       agg_valid = true;
     }
   };
+
+  // Free-mode quorum scan over the witness registers; Slot{v} iff some v
+  // holds >= n−f slots right now (see read() for the soundness argument).
+  Slot witness_scan() {
+    std::map<V, int> tally;
+    for (int i = 1; i <= cfg_.n; ++i) {
+      const Slot ri = witness_[i]->read();
+      if (ri.has_value() && ++tally[*ri] >= cfg_.n - cfg_.f) return ri;
+    }
+    return std::nullopt;
+  }
 
   bool fast_path() const {
     if constexpr (kVersionGate)

@@ -79,6 +79,7 @@ class VerifiableRegister {
     channel_.assign(n + 1, std::vector<SwsrT<HelpTuple>*>(n + 1));
     round_.resize(n + 1, nullptr);
     help_state_.resize(n + 1);
+    verified_.resize(n + 1);
     for (int i = 1; i <= n; ++i) {
       witness_[i] = &space.template make_swmr<ValueSet>(i, {}, "R" + std::to_string(i));
       for (int j = 2; j <= n; ++j) {
@@ -136,6 +137,27 @@ class VerifiableRegister {
   // paper-literal re-read loop (the step sequence must be reproducible).
   bool verify(const V& v) {
     const int k = require_reader("Verify");
+    // Free-mode fast paths (gated off in deterministic mode — the pinned
+    // traces pin the paper-literal step sequence):
+    //  * per-process verified cache: Verify(v)=true means a successful
+    //    Sign(v) happened before, which is permanent — a later Verify(v)
+    //    by the same process may return true without re-running the
+    //    protocol. Negative results are never cached (a Sign may land).
+    //  * witness quorum scan: if >= n−f witness registers already contain
+    //    v, return true without a helper round trip. Of those, >= n−2f >=
+    //    f+1 are honest, and an honest p_j inserts v only after seeing
+    //    v ∈ R_1 or f+1 existing witnesses — by induction on insertion
+    //    order the first honest adopter saw the writer's signed set, so
+    //    Sign(v) happened. This is the same attestation condition L23
+    //    certifies, read from the registers the helpers would relay.
+    if (fast_path()) {
+      auto& seen = verified_[static_cast<std::size_t>(k)];
+      if (seen.contains(v)) return true;
+      if (witness_scan(v)) {
+        seen.insert(v);
+        return true;
+      }
+    }
     std::set<int> set0, set1;  // L11
     ChannelCache cache(fast_path() ? cfg_.n : 0);
     for (;;) {                 // L12: while true
@@ -165,7 +187,14 @@ class VerifiableRegister {
             chosen_tuple = std::move(t);
           }
         }
-        if (chosen == 0) std::this_thread::yield();  // free-mode politeness
+        if (chosen == 0) {
+          // The witness quorum may complete while we wait on helpers.
+          if (fast_path() && witness_scan(v)) {
+            verified_[static_cast<std::size_t>(k)].insert(v);
+            return true;
+          }
+          std::this_thread::yield();  // free-mode politeness
+        }
       }
       if (chosen_tuple.first.contains(v)) {  // L18: v ∈ r_j
         set1.insert(chosen);                 // L19
@@ -173,8 +202,10 @@ class VerifiableRegister {
       } else {                               // L21: v ∉ r_j
         set0.insert(chosen);                 // L22
       }
-      if (static_cast<int>(set1.size()) >= cfg_.n - cfg_.f)  // L23
+      if (static_cast<int>(set1.size()) >= cfg_.n - cfg_.f) {  // L23
+        if (fast_path()) verified_[static_cast<std::size_t>(k)].insert(v);
         return true;
+      }
       if (static_cast<int>(set0.size()) > cfg_.f)            // L24
         return false;
     }
@@ -272,6 +303,15 @@ class VerifiableRegister {
     }
   };
 
+  // True iff >= n−f witness registers currently contain v.
+  bool witness_scan(const V& v) {
+    int count = 0;
+    for (int i = 1; i <= cfg_.n; ++i)
+      if (witness_[i]->read().contains(v) && ++count >= cfg_.n - cfg_.f)
+        return true;
+    return false;
+  }
+
   // True when the version-gated fast paths may be used: substrate supports
   // them (kVersionGate) and the space runs free-mode real concurrency.
   bool fast_path() const {
@@ -321,6 +361,11 @@ class VerifiableRegister {
   // Helper-local state, one slot per process (touched only by that
   // process's helper thread).
   std::vector<HelpState> help_state_;
+
+  // Per-process positive-verify memo (touched only by that process's
+  // operation thread; free mode only). Sound because Verify(v)=true is
+  // permanent — see verify().
+  std::vector<ValueSet> verified_;
 };
 
 }  // namespace swsig::core

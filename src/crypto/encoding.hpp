@@ -1,0 +1,96 @@
+// Canonical signing-message encoding: length-prefixed, type-tagged fields.
+//
+// The seed-era encoder concatenated raw bytes: integral values became 8
+// little-endian bytes, strings passed through verbatim, and multi-field
+// messages were built by bare concatenation. That framing is ambiguous in
+// two ways, and each ambiguity is a signature-forgery primitive (a
+// signature binds a byte string, so two statements with one encoding share
+// one signature):
+//
+//  1. Cross-type: the 8-byte string "\x2a\0\0\0\0\0\0\0" and the uint64
+//     value 42 encoded to identical bytes, so Sign(42) also "signed" the
+//     string, and vice versa.
+//  2. Cross-field: concatenating variable-length fields lets bytes migrate
+//     between fields — encode("ab") + encode("c") == encode("a") +
+//     encode("bc"), so a statement about ("ab", "c") verified as one about
+//     ("a", "bc").
+//
+// The fix is classic injective framing: every field is emitted as
+//
+//     [1-byte type tag] [8-byte LE payload length] [payload bytes]
+//
+// and multi-field messages start with a domain-separation field naming the
+// protocol context. Decoding is never needed (messages are only compared
+// and MACed); the tags exist so no two distinct field sequences can share
+// an encoding: tags separate types, the length prefix pins each field's
+// extent, and the domain field separates protocols signing with the same
+// keys. Regression-tested against the old collisions in tests/crypto_test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace swsig::crypto {
+
+namespace detail {
+
+inline constexpr char kTagUint = 'u';    // integral, 8-byte LE payload
+inline constexpr char kTagBytes = 's';   // string / raw bytes
+inline constexpr char kTagDomain = 'd';  // domain-separation label
+
+inline void append_le64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void append_framed(std::string& out, char tag, std::string_view payload) {
+  out.push_back(tag);
+  append_le64(out, payload.size());
+  out.append(payload);
+}
+
+}  // namespace detail
+
+// Appends one framed field to `out`. Integral types frame an 8-byte LE
+// payload under the 'u' tag; string-likes frame their bytes under 's'.
+// Extend to new value types by overloading encode_field.
+template <typename V>
+void encode_field(std::string& out, const V& v) {
+  if constexpr (std::is_integral_v<V>) {
+    std::string payload;
+    payload.reserve(8);
+    detail::append_le64(payload, static_cast<std::uint64_t>(v));
+    detail::append_framed(out, detail::kTagUint, payload);
+  } else {
+    detail::append_framed(out, detail::kTagBytes, std::string_view(v));
+  }
+}
+
+// Byte encoding of a single value for signing: one framed field. The name
+// predates the framing fix; every signing site routes through this (or
+// encode_message below), so the framing applies everywhere uniformly.
+template <typename V>
+std::string encode_value(const V& v) {
+  std::string out;
+  encode_field(out, v);
+  return out;
+}
+
+// Framed multi-field signing message with a leading domain tag:
+//
+//   encode_message("swsig.rb.slot", sender, seq, value)
+//
+// The domain field makes statements from different protocols (or different
+// register families sharing one SignatureAuthority) non-interchangeable
+// even when their payload fields coincide.
+template <typename... Fields>
+std::string encode_message(std::string_view domain, const Fields&... fields) {
+  std::string out;
+  detail::append_framed(out, detail::kTagDomain, domain);
+  (encode_field(out, fields), ...);
+  return out;
+}
+
+}  // namespace swsig::crypto

@@ -4,32 +4,46 @@
 
 namespace swsig::crypto {
 
-Digest hmac_sha256(std::string_view key, std::string_view message) {
-  constexpr std::size_t kBlock = 64;
-  std::array<std::uint8_t, kBlock> k{};
+namespace {
 
+constexpr std::size_t kBlock = 64;
+
+std::array<std::uint8_t, kBlock> fold_key(std::string_view key) {
+  std::array<std::uint8_t, kBlock> k{};
   if (key.size() > kBlock) {
     const Digest kd = Sha256::hash(key);
     std::copy(kd.begin(), kd.end(), k.begin());
   } else {
     std::copy(key.begin(), key.end(), k.begin());
   }
+  return k;
+}
 
+}  // namespace
+
+HmacSchedule::HmacSchedule(std::string_view key) {
+  const std::array<std::uint8_t, kBlock> k = fold_key(key);
   std::array<std::uint8_t, kBlock> ipad{}, opad{};
   for (std::size_t i = 0; i < kBlock; ++i) {
     ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
     opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
   }
+  inner_.update(ipad.data(), kBlock);
+  outer_.update(opad.data(), kBlock);
+}
 
-  Sha256 inner;
-  inner.update(ipad.data(), kBlock);
+Digest hmac_sha256(const HmacSchedule& schedule, std::string_view message) {
+  Sha256 inner = schedule.inner();  // midstate copy: ipad block compressed
   inner.update(message.data(), message.size());
   const Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(opad.data(), kBlock);
+  Sha256 outer = schedule.outer();
   outer.update(inner_digest.data(), inner_digest.size());
   return outer.finish();
+}
+
+Digest hmac_sha256(std::string_view key, std::string_view message) {
+  return hmac_sha256(HmacSchedule(key), message);
 }
 
 }  // namespace swsig::crypto

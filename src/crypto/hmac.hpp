@@ -1,5 +1,17 @@
 // HMAC-SHA256 (RFC 2104 / RFC 4231). Used by the signature oracle as the
 // tag function; verified against RFC 4231 test vectors.
+//
+// Two entry points:
+//  * hmac_sha256(key, message) — one-shot; derives the 64-byte key block
+//    and ipad/opad schedules on every call (the seed-era path, kept for
+//    callers without a long-lived key).
+//  * HmacSchedule + hmac_sha256(schedule, message) — the key block is
+//    XOR-folded once and the two SHA-256 compressions of the ipad/opad
+//    blocks are precomputed as resumable midstates; each MAC then costs
+//    two midstate copies plus the message/digest compressions. This is
+//    what SignatureAuthority holds per process key (the keys live for the
+//    authority's lifetime, so re-deriving the schedule per call was pure
+//    waste — measured in bench_crypto T11d).
 #pragma once
 
 #include <string>
@@ -9,7 +21,26 @@
 
 namespace swsig::crypto {
 
-// Computes HMAC-SHA256(key, message).
+// Precomputed per-key HMAC state: SHA-256 midstates with the ipad (inner)
+// and opad (outer) blocks already compressed.
+class HmacSchedule {
+ public:
+  HmacSchedule() = default;
+  explicit HmacSchedule(std::string_view key);
+
+  const Sha256& inner() const { return inner_; }
+  const Sha256& outer() const { return outer_; }
+
+ private:
+  Sha256 inner_;
+  Sha256 outer_;
+};
+
+// Computes HMAC-SHA256(key, message), deriving the key schedule inline.
 Digest hmac_sha256(std::string_view key, std::string_view message);
+
+// Computes HMAC-SHA256 with a precomputed key schedule; bit-identical to
+// the one-shot form for the schedule's key.
+Digest hmac_sha256(const HmacSchedule& schedule, std::string_view message);
 
 }  // namespace swsig::crypto

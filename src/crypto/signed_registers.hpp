@@ -102,7 +102,7 @@ class SignedVerifiableRegister {
                                  const std::string& msg) const {
     const auto it = s.find(v);
     if (it != s.end() && it->second.signer == 1 &&
-        authority_->verify(msg, it->second))
+        authority_->verify_cached(msg, it->second))
       return it->second;
     return std::nullopt;
   }
@@ -170,7 +170,7 @@ class SignedAuthenticatedRegister {
     // Highest-timestamp entry with a VALID signature wins; invalid entries
     // (a Byzantine writer can insert garbage tags) are skipped.
     for (auto it = s.rbegin(); it != s.rend(); ++it) {
-      if (authority_->verify(encode_value(it->value), it->sig)) {
+      if (authority_->verify_cached(encode_value(it->value), it->sig)) {
         adopt(k, it->value, it->sig);
         return it->value;
       }
@@ -184,7 +184,7 @@ class SignedAuthenticatedRegister {
     const std::string msg = encode_value(v);
     const EntrySet s = store_->read();
     for (const Entry& e : s) {
-      if (e.value == v && authority_->verify(msg, e.sig)) {
+      if (e.value == v && authority_->verify_cached(msg, e.sig)) {
         adopt(k, v, e.sig);
         return true;
       }
@@ -193,7 +193,7 @@ class SignedAuthenticatedRegister {
       if (j == k) continue;
       const SignedSet r = relay_[static_cast<std::size_t>(j)]->read();
       if (auto it = r.find(v);
-          it != r.end() && authority_->verify(msg, it->second)) {
+          it != r.end() && authority_->verify_cached(msg, it->second)) {
         adopt(k, v, it->second);
         return true;
       }
@@ -265,17 +265,35 @@ class SignedStickyRegister {
 
   std::optional<V> read() {
     for (;;) {
+      // Each spin batch-verifies the round's echoes: matching echoes sign
+      // the same message, so verify_all computes one digest for the whole
+      // quorum and cached signatures skip the MAC entirely.
+      std::vector<Slot> echoes;
+      std::vector<std::string> msgs;
+      echoes.reserve(static_cast<std::size_t>(cfg_.n));
+      msgs.reserve(static_cast<std::size_t>(cfg_.n));
+      for (int i = 1; i <= cfg_.n; ++i) {
+        echoes.push_back(echo_[static_cast<std::size_t>(i)]->read());
+        const Slot& e = echoes.back();
+        msgs.push_back(e.has_value() ? encode_value(e->value)
+                                     : std::string());
+      }
+      std::vector<SignatureAuthority::VerifyEntry> entries(
+          static_cast<std::size_t>(cfg_.n));
+      for (std::size_t i = 0; i < echoes.size(); ++i) {
+        if (echoes[i].has_value() && echoes[i]->sig.signer == 1) {
+          entries[i].message = msgs[i];
+          entries[i].sig = &echoes[i]->sig;
+        }
+      }
+      authority_->verify_all(entries);
       std::map<V, int> tally;
       int bottoms = 0;
-      for (int i = 1; i <= cfg_.n; ++i) {
-        const Slot e = echo_[static_cast<std::size_t>(i)]->read();
-        if (e.has_value() &&
-            authority_->verify(encode_value(e->value), e->sig) &&
-            e->sig.signer == 1) {
-          ++tally[e->value];
-        } else {
+      for (std::size_t i = 0; i < echoes.size(); ++i) {
+        if (entries[i].ok)
+          ++tally[echoes[i]->value];
+        else
           ++bottoms;
-        }
       }
       for (const auto& [v, cnt] : tally)
         if (cnt >= cfg_.n - cfg_.f) return v;
@@ -303,14 +321,14 @@ class SignedStickyRegister {
 
     Slot candidate = publish_->read();
     if (!(candidate.has_value() && candidate->sig.signer == 1 &&
-          authority_->verify(encode_value(candidate->value),
-                             candidate->sig))) {
+          authority_->verify_cached(encode_value(candidate->value),
+                                    candidate->sig))) {
       candidate = std::nullopt;
       std::map<V, std::pair<int, Signature>> tally;
       for (int i = 1; i <= cfg_.n; ++i) {
         const Slot e = echo_[static_cast<std::size_t>(i)]->read();
         if (e.has_value() && e->sig.signer == 1 &&
-            authority_->verify(encode_value(e->value), e->sig)) {
+            authority_->verify_cached(encode_value(e->value), e->sig)) {
           auto& slot = tally[e->value];
           ++slot.first;
           slot.second = e->sig;

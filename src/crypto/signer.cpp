@@ -11,6 +11,7 @@ SignatureAuthority::SignatureAuthority(Options options)
   if (options_.n < 1) throw std::invalid_argument("need n >= 1");
   util::Rng rng(options_.seed ^ 0x51677ea7u);  // "SIGAUTH"-ish salt
   keys_.resize(static_cast<std::size_t>(options_.n) + 1);
+  schedules_.resize(static_cast<std::size_t>(options_.n) + 1);
   for (int pid = 1; pid <= options_.n; ++pid) {
     std::string key(32, '\0');
     for (int i = 0; i < 4; ++i) {
@@ -19,17 +20,18 @@ SignatureAuthority::SignatureAuthority(Options options)
         key[static_cast<std::size_t>(8 * i + b)] =
             static_cast<char>(word >> (8 * b));
     }
+    schedules_[static_cast<std::size_t>(pid)] = HmacSchedule(key);
     keys_[static_cast<std::size_t>(pid)] = std::move(key);
   }
 }
 
 Digest SignatureAuthority::tag(runtime::ProcessId signer,
                                std::string_view message) const {
-  const std::string& key = keys_[static_cast<std::size_t>(signer)];
-  Digest d = hmac_sha256(key, message);
+  const HmacSchedule& sched = schedules_[static_cast<std::size_t>(signer)];
+  Digest d = hmac_sha256(sched, message);
   if (options_.mode == Mode::kSlowPk) {
     for (int i = 1; i < options_.pk_iterations; ++i) {
-      d = hmac_sha256(key,
+      d = hmac_sha256(sched,
                       std::string_view(reinterpret_cast<const char*>(d.data()),
                                        d.size()));
     }
@@ -51,6 +53,57 @@ bool SignatureAuthority::verify(std::string_view message,
                                 const Signature& sig) const {
   if (sig.signer < 1 || sig.signer > options_.n) return false;
   return tag(sig.signer, message) == sig.tag;
+}
+
+bool SignatureAuthority::verify_with_digest(std::string_view message,
+                                            const Digest& message_digest,
+                                            const Signature& sig) const {
+  if (sig.signer < 1 || sig.signer > options_.n) return false;
+  const VerifiedKey key =
+      VerifiedKey::make(sig.signer, message_digest, sig.tag);
+  if (cache_.contains(key)) return true;
+  if (tag(sig.signer, message) != sig.tag) return false;  // never cached
+  cache_.insert(key);
+  return true;
+}
+
+bool SignatureAuthority::verify_cached(std::string_view message,
+                                       const Signature& sig) const {
+  if (sig.signer < 1 || sig.signer > options_.n) return false;
+  return verify_with_digest(message, Sha256::hash(message), sig);
+}
+
+std::size_t SignatureAuthority::verify_all(
+    std::span<VerifyEntry> entries) const {
+  std::size_t good = 0;
+  // Entries signing identical message bytes share one digest computation.
+  // Quorum rounds hand us runs of the same statement, so a linear scan for
+  // the previous occurrence is cheaper than hashing map keys.
+  std::vector<const std::string_view*> seen;
+  std::vector<Digest> digests;
+  seen.reserve(entries.size());
+  digests.reserve(entries.size());
+  for (VerifyEntry& e : entries) {
+    if (e.sig == nullptr) {
+      e.ok = false;
+      continue;
+    }
+    const Digest* md = nullptr;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (*seen[i] == e.message) {
+        md = &digests[i];
+        break;
+      }
+    }
+    if (md == nullptr) {
+      digests.push_back(Sha256::hash(e.message));
+      seen.push_back(&e.message);
+      md = &digests.back();
+    }
+    e.ok = verify_with_digest(e.message, *md, *e.sig);
+    if (e.ok) ++good;
+  }
+  return good;
 }
 
 }  // namespace swsig::crypto

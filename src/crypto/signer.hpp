@@ -11,18 +11,31 @@
 // real HMAC-SHA256 computations so the baseline pays realistic hashing
 // cost; kSlowPk mode multiplies the work to model public-key signatures
 // (calibrated in bench T11).
+//
+// Verification cost model (design note 16):
+//  * per-key HMAC schedules are precomputed at construction — a tag costs
+//    two midstate copies, not a key-block + ipad/opad rebuild;
+//  * verify_cached() memoizes POSITIVE verdicts in a VerifiedCache keyed
+//    by (signer, SHA-256(message), tag) — each long-lived certificate
+//    signature costs one HMAC per OS process per lifetime;
+//  * verify_all() batch-verifies the k signatures a quorum round carries,
+//    computing the shared message digest once for runs that sign the same
+//    message (the common case: one statement, n−f witness signatures).
 #pragma once
 
 #include <array>
 #include <compare>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "crypto/encoding.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/verified_cache.hpp"
 #include "runtime/process.hpp"
 
 namespace swsig::crypto {
@@ -33,21 +46,6 @@ struct Signature {
 
   friend auto operator<=>(const Signature&, const Signature&) = default;
 };
-
-// Byte encoding of values for signing. Integral types use 8-byte
-// little-endian; strings sign their bytes. Extend by overloading.
-template <typename V>
-std::string encode_value(const V& v) {
-  if constexpr (std::is_integral_v<V>) {
-    std::string out(8, '\0');
-    auto u = static_cast<std::uint64_t>(v);
-    for (int i = 0; i < 8; ++i)
-      out[static_cast<std::size_t>(i)] = static_cast<char>(u >> (8 * i));
-    return out;
-  } else {
-    return std::string(v);
-  }
-}
 
 class SignatureAuthority {
  public:
@@ -70,16 +68,40 @@ class SignatureAuthority {
   // guarantee.
   Signature sign(runtime::ProcessId signer, std::string_view message) const;
 
-  // Anyone may verify anyone's signature.
+  // Anyone may verify anyone's signature. Pure recomputation, no cache.
   bool verify(std::string_view message, const Signature& sig) const;
 
+  // verify() through the process-lifetime VerifiedCache: a positive
+  // verdict for this exact (signer, message, tag) is recorded and every
+  // later call is a digest + set lookup. Negative verdicts are never
+  // cached. Semantically identical to verify().
+  bool verify_cached(std::string_view message, const Signature& sig) const;
+
+  // One entry of a batch verification.
+  struct VerifyEntry {
+    std::string_view message;
+    const Signature* sig = nullptr;
+    bool ok = false;  // out
+  };
+
+  // Verifies every entry (through the cache), sharing the message-digest
+  // work across entries that sign identical message bytes. Returns the
+  // number of valid entries; each entry's verdict lands in `ok`.
+  std::size_t verify_all(std::span<VerifyEntry> entries) const;
+
   int n() const { return options_.n; }
+  const VerifiedCache& cache() const { return cache_; }
 
  private:
   Digest tag(runtime::ProcessId signer, std::string_view message) const;
+  bool verify_with_digest(std::string_view message,
+                          const Digest& message_digest,
+                          const Signature& sig) const;
 
   Options options_;
-  std::vector<std::string> keys_;  // index by pid; [0] unused
+  std::vector<std::string> keys_;            // index by pid; [0] unused
+  std::vector<HmacSchedule> schedules_;      // precomputed per key
+  mutable VerifiedCache cache_;
 };
 
 class ForgeryAttempt : public std::logic_error {

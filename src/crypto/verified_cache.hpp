@@ -1,0 +1,206 @@
+// Verified-certificate memoization for the signature layer.
+//
+// Soundness argument (docs/ARCHITECTURE.md, design note 16, in brief): a
+// signature's validity is a pure function of (signer key, message bytes,
+// tag bytes) — it never becomes false later. Caching POSITIVE verdicts
+// keyed by the full triple (signer, SHA-256(message), tag) is therefore
+// exactly as unforgeable as re-verifying: a tampered tag or substituted
+// message changes the key, misses the cache, and falls through to the real
+// HMAC check. Negative verdicts are never cached (a retried verify after a
+// benign race must be free to succeed, and a negative entry would let a
+// slow attacker probe the cache's hash instead of the MAC).
+//
+//  * VerifiedCache — per-authority set of proven (signer, digest, tag)
+//    triples; every SignatureAuthority::verify site that checks long-lived
+//    certificates goes through it, so each witness signature costs one HMAC
+//    per OS process per lifetime instead of one per protocol round.
+//  * CertInterner — aggregation layer on top: an n−f-signature quorum
+//    certificate, once fully verified, is interned under its certificate
+//    digest and afterwards carried/checked as ONE handle. Interned handles
+//    are announced to the flight recorder (kCertIntern) so trace_view.py
+//    can still attribute which witnesses backed a delivery.
+//
+// Both structures are sharded (mutex + open hash set per shard) — they sit
+// on concurrent helper/reader hot paths.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace swsig::crypto {
+
+namespace detail {
+
+// Key folding for the shard tables: every bit of the (signer, message
+// digest, tag) triple is mixed into the stored 128-bit key, so an exact-
+// match hit requires the exact triple up to a 2^-128 accidental collision.
+inline std::uint64_t fold64(const Digest& d, std::size_t offset) {
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    w |= static_cast<std::uint64_t>(d[offset + i]) << (8 * i);
+  return w;
+}
+
+inline std::uint64_t mix(std::uint64_t x) {  // splitmix64 finalizer
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d4a2c6d94d8927ULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+// Key of one proven verification: signer id, SHA-256 of the signed
+// message, and the full 32-byte tag, compressed to 128 bits of mixed
+// state. The two halves are independent mixes of all inputs, so an
+// accidental collision needs a simultaneous 128-bit match.
+struct VerifiedKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  static VerifiedKey make(int signer, const Digest& message_digest,
+                          const Digest& tag) {
+    using detail::fold64;
+    using detail::mix;
+    const std::uint64_t m0 = fold64(message_digest, 0) ^
+                             mix(fold64(message_digest, 8));
+    const std::uint64_t m1 = fold64(message_digest, 16) ^
+                             mix(fold64(message_digest, 24));
+    const std::uint64_t t0 = fold64(tag, 0) ^ mix(fold64(tag, 8));
+    const std::uint64_t t1 = fold64(tag, 16) ^ mix(fold64(tag, 24));
+    const std::uint64_t s = static_cast<std::uint64_t>(signer);
+    VerifiedKey k;
+    k.lo = mix(m0 ^ mix(t0 ^ s));
+    k.hi = mix(m1 ^ mix(t1 + 0x517cc1b727220a95ULL * s));
+    return k;
+  }
+
+  friend bool operator==(const VerifiedKey&, const VerifiedKey&) = default;
+};
+
+class VerifiedCache {
+ public:
+  VerifiedCache() : shards_(kShards) {}
+
+  // True iff this exact (signer, message digest, tag) was proven before.
+  bool contains(const VerifiedKey& key) const {
+    const Shard& s = shard(key);
+    std::scoped_lock lock(s.mu);
+    const bool hit = s.entries.contains(key);
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+
+  // Records a PROVEN verification. Callers must only insert after a real
+  // verify succeeded — negatives are never inserted anywhere.
+  void insert(const VerifiedKey& key) {
+    Shard& s = shard(key);
+    std::scoped_lock lock(s.mu);
+    s.entries.insert(key);
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct KeyHash {
+    std::size_t operator()(const VerifiedKey& k) const {
+      return static_cast<std::size_t>(k.lo ^ detail::mix(k.hi));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<VerifiedKey, KeyHash> entries;
+  };
+
+  Shard& shard(const VerifiedKey& k) {
+    return shards_[static_cast<std::size_t>(k.hi) % kShards];
+  }
+  const Shard& shard(const VerifiedKey& k) const {
+    return shards_[static_cast<std::size_t>(k.hi) % kShards];
+  }
+
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+// Interning table for fully-verified aggregate certificates. A certificate
+// digest must commit to the certified statement AND every (signer, tag)
+// pair it aggregates (see SignedReliableBroadcast::cert_digest). find()
+// returning a handle means some thread of this OS process completed the
+// full n−f signature check for that exact digest earlier.
+class CertInterner {
+ public:
+  CertInterner() : shards_(kShards) {}
+
+  std::optional<std::uint64_t> find(const Digest& cert_digest) const {
+    const std::uint64_t key = fold(cert_digest);
+    const Shard& s = shard(key);
+    std::scoped_lock lock(s.mu);
+    const auto it = s.handles.find(key);
+    if (it == s.handles.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  // Interns a verified certificate digest; returns its (stable) handle.
+  std::uint64_t intern(const Digest& cert_digest) {
+    const std::uint64_t key = fold(cert_digest);
+    Shard& s = shard(key);
+    std::scoped_lock lock(s.mu);
+    const auto it = s.handles.find(key);
+    if (it != s.handles.end()) return it->second;
+    const std::uint64_t handle =
+        next_handle_.fetch_add(1, std::memory_order_relaxed);
+    s.handles.emplace(key, handle);
+    return handle;
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t size() const {
+    return next_handle_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  static std::uint64_t fold(const Digest& d) {
+    return detail::mix(detail::fold64(d, 0) ^ detail::mix(detail::fold64(d, 8)) ^
+                       detail::fold64(d, 16) ^
+                       detail::mix(detail::fold64(d, 24)));
+  }
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::uint64_t> handles;
+  };
+
+  Shard& shard(std::uint64_t key) { return shards_[key % kShards]; }
+  const Shard& shard(std::uint64_t key) const { return shards_[key % kShards]; }
+
+  mutable std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> next_handle_{1};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace swsig::crypto

@@ -55,6 +55,11 @@ enum class EventKind : std::uint8_t {
   // Partition plane (pid = the cut-off process; aux = PartitionMode).
   kPartitionCut,
   kPartitionHeal,
+  // Certificate plane (pid = the verifying process; origin = slot sender,
+  // sn = slot seq, aux = the interned certificate handle). Recorded when a
+  // fully-verified aggregate certificate is interned, so dumps can
+  // attribute later handle-only deliveries back to the witnessed slot.
+  kCertIntern,
   kCount
 };
 
@@ -87,6 +92,7 @@ inline const char* kind_name(EventKind k) {
     case EventKind::kReadCoalesced: return "read_coalesced";
     case EventKind::kPartitionCut: return "partition_cut";
     case EventKind::kPartitionHeal: return "partition_heal";
+    case EventKind::kCertIntern: return "cert_intern";
     default: return "?";
   }
 }

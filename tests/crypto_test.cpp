@@ -97,15 +97,76 @@ TEST(Hmac, Rfc4231Case6LongKey) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
-TEST(EncodeValue, IntegralLittleEndian) {
+TEST(EncodeValue, IntegralFramedLittleEndian) {
+  // [tag 'u'][8-byte LE length = 8][8-byte LE payload]
   const std::string e = encode_value<std::uint64_t>(0x0102030405060708ULL);
-  ASSERT_EQ(e.size(), 8u);
-  EXPECT_EQ(static_cast<unsigned char>(e[0]), 0x08);
-  EXPECT_EQ(static_cast<unsigned char>(e[7]), 0x01);
+  ASSERT_EQ(e.size(), 1u + 8u + 8u);
+  EXPECT_EQ(e[0], 'u');
+  EXPECT_EQ(static_cast<unsigned char>(e[1]), 0x08);  // length, LE
+  for (int i = 2; i < 9; ++i) EXPECT_EQ(e[i], '\0');
+  EXPECT_EQ(static_cast<unsigned char>(e[9]), 0x08);   // payload, LE
+  EXPECT_EQ(static_cast<unsigned char>(e[16]), 0x01);
 }
 
-TEST(EncodeValue, StringPassThrough) {
-  EXPECT_EQ(encode_value<std::string>("hello"), "hello");
+TEST(EncodeValue, StringFramed) {
+  // [tag 's'][8-byte LE length = 5]["hello"]
+  const std::string e = encode_value<std::string>("hello");
+  ASSERT_EQ(e.size(), 1u + 8u + 5u);
+  EXPECT_EQ(e[0], 's');
+  EXPECT_EQ(static_cast<unsigned char>(e[1]), 0x05);
+  EXPECT_EQ(e.substr(9), "hello");
+}
+
+// The seed-era encoder: integrals became bare 8-byte LE words, strings
+// passed through verbatim, and multi-field messages were built by bare
+// concatenation. Reproduced here so the regression tests can prove the
+// collisions were real, not hypothetical.
+template <typename V>
+std::string old_encode_value(const V& v) {
+  if constexpr (std::is_integral_v<V>) {
+    std::string out(8, '\0');
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i)
+      out[static_cast<std::size_t>(i)] = static_cast<char>((u >> (8 * i)) & 0xff);
+    return out;
+  } else {
+    return std::string(v);
+  }
+}
+
+// Regression: the uint64 42 and the 8-byte string "\x2a\0..\0" collided
+// under the old encoding (one signature covered both statements). The
+// framed encoding keeps them distinct.
+TEST(EncodeFraming, CrossTypeCollisionFixed) {
+  const std::string as_int = std::string("\x2a", 1) + std::string(7, '\0');
+  // Old encoding: demonstrably one byte string for two typed statements.
+  ASSERT_EQ(old_encode_value<std::uint64_t>(42),
+            old_encode_value<std::string>(as_int));
+  // New encoding: type tags separate them.
+  EXPECT_NE(encode_value<std::uint64_t>(42), encode_value<std::string>(as_int));
+}
+
+// Regression: bare concatenation let bytes migrate between fields —
+// ("ab","c") and ("a","bc") shared an encoding. Length prefixes pin each
+// field's extent.
+TEST(EncodeFraming, CrossFieldCollisionFixed) {
+  const std::string old_ab_c = old_encode_value<std::string>("ab") +
+                               old_encode_value<std::string>("c");
+  const std::string old_a_bc = old_encode_value<std::string>("a") +
+                               old_encode_value<std::string>("bc");
+  ASSERT_EQ(old_ab_c, old_a_bc);
+  EXPECT_NE(encode_message("t", std::string("ab"), std::string("c")),
+            encode_message("t", std::string("a"), std::string("bc")));
+}
+
+TEST(EncodeFraming, DomainSeparatesProtocols) {
+  // Same payload fields signed for different protocol contexts must not be
+  // interchangeable.
+  EXPECT_NE(encode_message("swsig.rb.slot", 1, 2),
+            encode_message("swsig.other", 1, 2));
+  // And the domain cannot blend into the first field.
+  EXPECT_NE(encode_message("ab", std::string("c")),
+            encode_message("a", std::string("bc")));
 }
 
 class SignerTest : public ::testing::Test {
@@ -179,6 +240,109 @@ TEST_F(SignerTest, DeterministicAcrossInstancesWithSameSeed) {
   // ...and a different seed yields different keys.
   SignatureAuthority third({.n = 4, .seed = 8});
   EXPECT_NE(auth.sign(1, "m").tag, third.sign(1, "m").tag);
+}
+
+// The precomputed schedule is an optimization, not a different MAC: it
+// must be bit-identical to the one-shot derivation for every key shape.
+TEST(Hmac, ScheduleMatchesOneShot) {
+  const std::string keys[] = {std::string("Jefe"), std::string(20, '\x0b'),
+                              std::string(64, 'k'), std::string(131, '\xaa')};
+  const std::string msgs[] = {"", "Hi There", std::string(1000, 'd')};
+  for (const auto& key : keys) {
+    const HmacSchedule sched(key);
+    for (const auto& msg : msgs)
+      EXPECT_EQ(hmac_sha256(sched, msg), hmac_sha256(key, msg));
+  }
+}
+
+class VerifyCacheTest : public ::testing::Test {
+ protected:
+  SignatureAuthority auth{{.n = 4, .seed = 7}};
+};
+
+TEST_F(VerifyCacheTest, CachedVerifyMatchesUncached) {
+  runtime::ThisProcess::Binder bind(2);
+  const Signature sig = auth.sign(2, "message");
+  const std::uint64_t misses0 = auth.cache().misses();
+  EXPECT_TRUE(auth.verify_cached("message", sig));  // real HMAC, then insert
+  const std::uint64_t hits0 = auth.cache().hits();
+  EXPECT_TRUE(auth.verify_cached("message", sig));  // pure cache hit
+  EXPECT_GT(auth.cache().hits(), hits0);
+  EXPECT_GT(auth.cache().misses(), misses0);
+}
+
+// A tampered tag must never hit the cache, even after the genuine
+// signature for the same (signer, message) was proven and cached.
+TEST_F(VerifyCacheTest, TamperedTagNeverHits) {
+  runtime::ThisProcess::Binder bind(2);
+  const Signature sig = auth.sign(2, "message");
+  ASSERT_TRUE(auth.verify_cached("message", sig));
+  ASSERT_TRUE(auth.verify_cached("message", sig));  // cached positive exists
+  for (std::size_t byte : {0u, 15u, 31u}) {
+    Signature forged = sig;
+    forged.tag[byte] ^= 1;
+    EXPECT_FALSE(auth.verify_cached("message", forged));
+  }
+}
+
+// A hit requires the exact (signer, message, tag) triple: perturbing any
+// coordinate of a cached-positive verification must verify (and fail) for
+// real.
+TEST_F(VerifyCacheTest, HitRequiresExactTriple) {
+  runtime::ThisProcess::Binder bind(2);
+  const Signature sig = auth.sign(2, "message");
+  ASSERT_TRUE(auth.verify_cached("message", sig));
+  Signature wrong_signer = sig;
+  wrong_signer.signer = 3;
+  EXPECT_FALSE(auth.verify_cached("message", wrong_signer));
+  EXPECT_FALSE(auth.verify_cached("messagE", sig));
+}
+
+// Negative verdicts are never cached: a failed verify must not poison a
+// later verify of the genuine signature.
+TEST_F(VerifyCacheTest, NegativesNotCached) {
+  runtime::ThisProcess::Binder bind(2);
+  const Signature sig = auth.sign(2, "message");
+  Signature forged = sig;
+  forged.tag[0] ^= 1;
+  EXPECT_FALSE(auth.verify_cached("message", forged));
+  EXPECT_FALSE(auth.verify_cached("message", forged));  // still re-checked
+  EXPECT_TRUE(auth.verify_cached("message", sig));
+}
+
+TEST_F(VerifyCacheTest, VerifyAllSharesDigestAcrossQuorum) {
+  // n signers of one statement — the quorum-round shape.
+  const std::string msg = encode_message("swsig.test", 7, std::string("v"));
+  std::vector<Signature> sigs;
+  for (int pid = 1; pid <= 4; ++pid) {
+    runtime::ThisProcess::Binder bind(pid);
+    sigs.push_back(auth.sign(pid, msg));
+  }
+  std::vector<SignatureAuthority::VerifyEntry> entries;
+  for (const Signature& s : sigs) entries.push_back({msg, &s});
+  EXPECT_EQ(auth.verify_all(entries), 4u);
+  for (const auto& e : entries) EXPECT_TRUE(e.ok);
+  // One bad entry among good ones: count excludes it, positions are right.
+  Signature forged = sigs[2];
+  forged.tag[8] ^= 1;
+  entries[2].sig = &forged;
+  EXPECT_EQ(auth.verify_all(entries), 3u);
+  EXPECT_TRUE(entries[0].ok && entries[1].ok && entries[3].ok);
+  EXPECT_FALSE(entries[2].ok);
+}
+
+TEST(CertInternerTest, InternAndFindRoundTrip) {
+  CertInterner interner;
+  const Digest a = Sha256::hash("cert-a");
+  const Digest b = Sha256::hash("cert-b");
+  EXPECT_FALSE(interner.find(a).has_value());
+  const std::uint64_t ha = interner.intern(a);
+  const std::uint64_t hb = interner.intern(b);
+  EXPECT_NE(ha, hb);
+  EXPECT_EQ(interner.intern(a), ha);  // stable handle
+  ASSERT_TRUE(interner.find(a).has_value());
+  EXPECT_EQ(*interner.find(a), ha);
+  EXPECT_EQ(interner.size(), 2u);
 }
 
 TEST(SignerPk, SlowModeStillCorrect) {

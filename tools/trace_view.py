@@ -187,10 +187,31 @@ def render_ladder(key, ladder_events, out):
         print(f"  +{rel:10.1f}us p{e['pid']:<3} {e['kind']}{extra}", file=out)
 
 
+def summarize_certs(events, out):
+    """Interned witness certificates: cert_intern events carry the slot
+    (origin = sender, sn = seq) and the interned handle in aux, so a
+    handle-only delivery seen later in a dump can be attributed back to
+    the slot whose n-f witnesses were actually verified."""
+    certs = {}
+    for e in events:
+        if e["kind"] != "cert_intern":
+            continue
+        entry = certs.setdefault(e["aux"], {"sender": e["origin"],
+                                            "sn": e["sn"], "pids": set()})
+        entry["pids"].add(e["pid"])
+    if certs:
+        print("interned certificates:", file=out)
+        for handle in sorted(certs):
+            c = certs[handle]
+            pids = ",".join(f"p{p}" for p in sorted(c["pids"]))
+            print(f"  handle {handle}: slot sender=p{c['sender']} "
+                  f"seq={c['sn']} verified by {pids}", file=out)
+
+
 def summarize_other(events, out):
     counts = {}
     for e in events:
-        if e["kind"] in PHASE_KINDS:
+        if e["kind"] in PHASE_KINDS or e["kind"] == "cert_intern":
             continue
         label = e["kind"]
         if e["kind"] in ("partition_cut", "partition_heal"):
@@ -231,6 +252,7 @@ def render(events, out, reg=None, origin=None, last=None):
                   f"over {count} ladders, sn {lo}..{hi}", file=out)
     for k in keys:
         render_ladder(k, ladders[k], out)
+    summarize_certs(events, out)
     summarize_other(events, out)
     return stalled
 
@@ -262,6 +284,8 @@ EV 60.0 1 write_start OTHER 12 1 100 0 0
 EV 61.0 1 write_start OTHER 12 1 101 1 0
 EV 65.0 1 write_done OTHER 12 1 100 500 0
 EV 66.0 1 write_done OTHER 12 1 101 500 0
+EV 70.0 2 cert_intern OTHER 0 3 5 17 0
+EV 71.0 4 cert_intern OTHER 0 3 5 17 0
 this line is garbage
 EV bad 1 echo OTHER 1 1 1 0 0
 """
@@ -278,7 +302,7 @@ def run_self_test():
         print(f"self-test: {'ok  ' if cond else 'FAIL'} {name}")
 
     events, warnings = parse_trace(SAMPLE.splitlines())
-    check("parses well-formed events", len(events) == 23)
+    check("parses well-formed events", len(events) == 25)
     # The prose garbage line is silently skipped (not an EV record); the
     # "EV bad ..." line has 10 fields but a bad float -> one warning.
     check("warns on bad numeric field", len(warnings) == 1)
@@ -337,6 +361,10 @@ def run_self_test():
     check("partition events carry the cut direction",
           "partition_cut.inbound: 1" in text and
           "partition_heal.inbound: 1" in text)
+    check("interned cert attributed to its slot and verifiers",
+          "handle 17: slot sender=p3 seq=5 verified by p2,p4" in text)
+    check("cert_intern excluded from the generic summary",
+          "cert_intern:" not in text)
 
     # Filters.
     out = io.StringIO()
