@@ -324,16 +324,19 @@ class SignedReliableBroadcast final : public ReliableBroadcast {
   }
 
   // Digest committing to a record's full certificate: the slot statement
-  // plus every aggregated (signer, tag) pair, in signer order. Two records
-  // differing in any acknowledged signature (or the certified statement)
-  // get different digests, so an interner hit implies this exact
-  // certificate was fully verified before.
+  // plus every aggregated (pid, sig.signer, tag) entry, in signer order.
+  // The digest must commit to exactly what verify_all checks — including
+  // sig.signer, which valid_cert compares against pid before verifying —
+  // so a record with scrambled signer fields can never alias the digest
+  // of a previously verified certificate. An interner hit therefore
+  // implies this exact certificate was fully verified before.
   static crypto::Digest cert_digest(const std::string& msg,
                                     const Record& rec) {
     crypto::Sha256 h;
     std::string buf = crypto::encode_message("swsig.rb.cert", msg);
     for (const auto& [pid, sig] : rec.cert) {
       crypto::encode_field(buf, pid);
+      crypto::encode_field(buf, sig.signer);
       crypto::encode_field(
           buf, std::string_view(reinterpret_cast<const char*>(sig.tag.data()),
                                 sig.tag.size()));

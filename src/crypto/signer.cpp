@@ -1,5 +1,6 @@
 #include "crypto/signer.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -58,6 +59,12 @@ bool SignatureAuthority::verify(std::string_view message,
 bool SignatureAuthority::verify_with_digest(std::string_view message,
                                             const Digest& message_digest,
                                             const Signature& sig) const {
+  // Contract (see signer.hpp): message_digest MUST equal
+  // Sha256::hash(message). The cache key is built from the digest while
+  // the fallback HMAC runs over the message bytes, so a mismatched pair
+  // would record a verdict under a key that later false-hits for
+  // whichever message actually owns that digest.
+  assert(message_digest == Sha256::hash(message));
   if (sig.signer < 1 || sig.signer > options_.n) return false;
   const VerifiedKey key =
       VerifiedKey::make(sig.signer, message_digest, sig.tag);

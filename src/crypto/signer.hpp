@@ -94,6 +94,11 @@ class SignatureAuthority {
 
  private:
   Digest tag(runtime::ProcessId signer, std::string_view message) const;
+  // Cached verify with the message's SHA-256 precomputed by the caller.
+  // PRIVATE contract, asserted in debug builds: message_digest must be
+  // exactly Sha256::hash(message). The cache key uses the digest but the
+  // fallback HMAC uses the message bytes, so a mismatched pair would
+  // poison the cache for the message that really owns that digest.
   bool verify_with_digest(std::string_view message,
                           const Digest& message_digest,
                           const Signature& sig) const;

@@ -20,6 +20,15 @@
 //    are announced to the flight recorder (kCertIntern) so trace_view.py
 //    can still attribute which witnesses backed a delivery.
 //
+// Both tables store their FULL key bytes and compare byte-for-byte on
+// lookup. The 64-bit folds below are used only for hash-bucket and shard
+// placement, where an adversarially crafted collision costs one extra
+// compare — never a false hit. (An earlier revision compressed the triple
+// to an invertible 128-bit mix; against a Byzantine signer who controls
+// the tag bytes that mix can be solved backwards to alias a cached
+// verdict, so no lossy compression of attacker-controlled input may ever
+// decide acceptance.)
+//
 // Both structures are sharded (mutex + open hash set per shard) — they sit
 // on concurrent helper/reader hot paths.
 #pragma once
@@ -39,9 +48,9 @@ namespace swsig::crypto {
 
 namespace detail {
 
-// Key folding for the shard tables: every bit of the (signer, message
-// digest, tag) triple is mixed into the stored 128-bit key, so an exact-
-// match hit requires the exact triple up to a 2^-128 accidental collision.
+// Bucket/shard hashing helpers. These folds NEVER decide acceptance —
+// both tables below key on full bytes — so their quality only affects
+// bucket balance, not soundness.
 inline std::uint64_t fold64(const Digest& d, std::size_t offset) {
   std::uint64_t w = 0;
   for (std::size_t i = 0; i < 8; ++i)
@@ -58,29 +67,31 @@ inline std::uint64_t mix(std::uint64_t x) {  // splitmix64 finalizer
 
 }  // namespace detail
 
-// Key of one proven verification: signer id, SHA-256 of the signed
-// message, and the full 32-byte tag, compressed to 128 bits of mixed
-// state. The two halves are independent mixes of all inputs, so an
-// accidental collision needs a simultaneous 128-bit match.
+// Key of one proven verification: the signer id plus the FULL 32-byte
+// SHA-256 of the signed message and the FULL 32-byte tag. Equality is
+// byte-exact over the whole triple, so a cache hit is possible only for
+// the identical (signer, message digest, tag) — there is no compressed
+// form for an adversary to alias, no matter what tag bytes they control.
 struct VerifiedKey {
-  std::uint64_t lo = 0;
-  std::uint64_t hi = 0;
+  int signer = 0;
+  Digest message_digest{};
+  Digest tag{};
 
   static VerifiedKey make(int signer, const Digest& message_digest,
                           const Digest& tag) {
+    return VerifiedKey{signer, message_digest, tag};
+  }
+
+  // Bucket/shard placement only — acceptance always compares full bytes.
+  std::uint64_t hash64() const {
     using detail::fold64;
     using detail::mix;
-    const std::uint64_t m0 = fold64(message_digest, 0) ^
-                             mix(fold64(message_digest, 8));
-    const std::uint64_t m1 = fold64(message_digest, 16) ^
-                             mix(fold64(message_digest, 24));
-    const std::uint64_t t0 = fold64(tag, 0) ^ mix(fold64(tag, 8));
-    const std::uint64_t t1 = fold64(tag, 16) ^ mix(fold64(tag, 24));
-    const std::uint64_t s = static_cast<std::uint64_t>(signer);
-    VerifiedKey k;
-    k.lo = mix(m0 ^ mix(t0 ^ s));
-    k.hi = mix(m1 ^ mix(t1 + 0x517cc1b727220a95ULL * s));
-    return k;
+    std::uint64_t h = mix(static_cast<std::uint64_t>(signer));
+    for (std::size_t off = 0; off < 32; off += 8) {
+      h = mix(h ^ fold64(message_digest, off));
+      h = mix(h ^ fold64(tag, off));
+    }
+    return h;
   }
 
   friend bool operator==(const VerifiedKey&, const VerifiedKey&) = default;
@@ -117,7 +128,7 @@ class VerifiedCache {
 
   struct KeyHash {
     std::size_t operator()(const VerifiedKey& k) const {
-      return static_cast<std::size_t>(k.lo ^ detail::mix(k.hi));
+      return static_cast<std::size_t>(k.hash64());
     }
   };
   struct Shard {
@@ -126,10 +137,10 @@ class VerifiedCache {
   };
 
   Shard& shard(const VerifiedKey& k) {
-    return shards_[static_cast<std::size_t>(k.hi) % kShards];
+    return shards_[static_cast<std::size_t>(k.hash64()) % kShards];
   }
   const Shard& shard(const VerifiedKey& k) const {
-    return shards_[static_cast<std::size_t>(k.hi) % kShards];
+    return shards_[static_cast<std::size_t>(k.hash64()) % kShards];
   }
 
   mutable std::vector<Shard> shards_;
@@ -147,10 +158,9 @@ class CertInterner {
   CertInterner() : shards_(kShards) {}
 
   std::optional<std::uint64_t> find(const Digest& cert_digest) const {
-    const std::uint64_t key = fold(cert_digest);
-    const Shard& s = shard(key);
+    const Shard& s = shard(cert_digest);
     std::scoped_lock lock(s.mu);
-    const auto it = s.handles.find(key);
+    const auto it = s.handles.find(cert_digest);
     if (it == s.handles.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
@@ -161,14 +171,13 @@ class CertInterner {
 
   // Interns a verified certificate digest; returns its (stable) handle.
   std::uint64_t intern(const Digest& cert_digest) {
-    const std::uint64_t key = fold(cert_digest);
-    Shard& s = shard(key);
+    Shard& s = shard(cert_digest);
     std::scoped_lock lock(s.mu);
-    const auto it = s.handles.find(key);
+    const auto it = s.handles.find(cert_digest);
     if (it != s.handles.end()) return it->second;
     const std::uint64_t handle =
         next_handle_.fetch_add(1, std::memory_order_relaxed);
-    s.handles.emplace(key, handle);
+    s.handles.emplace(cert_digest, handle);
     return handle;
   }
 
@@ -183,19 +192,30 @@ class CertInterner {
  private:
   static constexpr std::size_t kShards = 16;
 
+  // Shard/bucket placement only: the map is keyed on the full 32-byte
+  // digest and compares it byte-for-byte, so a crafted 64-bit fold
+  // collision lands two distinct certificates in one bucket — it can
+  // never make an unverified certificate share a verified one's handle.
   static std::uint64_t fold(const Digest& d) {
     return detail::mix(detail::fold64(d, 0) ^ detail::mix(detail::fold64(d, 8)) ^
                        detail::fold64(d, 16) ^
                        detail::mix(detail::fold64(d, 24)));
   }
 
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const {
+      return static_cast<std::size_t>(fold(d));
+    }
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, std::uint64_t> handles;
+    std::unordered_map<Digest, std::uint64_t, DigestHash> handles;
   };
 
-  Shard& shard(std::uint64_t key) { return shards_[key % kShards]; }
-  const Shard& shard(std::uint64_t key) const { return shards_[key % kShards]; }
+  Shard& shard(const Digest& d) { return shards_[fold(d) % kShards]; }
+  const Shard& shard(const Digest& d) const {
+    return shards_[fold(d) % kShards];
+  }
 
   mutable std::vector<Shard> shards_;
   std::atomic<std::uint64_t> next_handle_{1};

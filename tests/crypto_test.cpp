@@ -278,7 +278,7 @@ TEST_F(VerifyCacheTest, TamperedTagNeverHits) {
   const Signature sig = auth.sign(2, "message");
   ASSERT_TRUE(auth.verify_cached("message", sig));
   ASSERT_TRUE(auth.verify_cached("message", sig));  // cached positive exists
-  for (std::size_t byte : {0u, 15u, 31u}) {
+  for (std::size_t byte = 0; byte < sig.tag.size(); ++byte) {
     Signature forged = sig;
     forged.tag[byte] ^= 1;
     EXPECT_FALSE(auth.verify_cached("message", forged));
@@ -329,6 +329,39 @@ TEST_F(VerifyCacheTest, VerifyAllSharesDigestAcrossQuorum) {
   EXPECT_EQ(auth.verify_all(entries), 3u);
   EXPECT_TRUE(entries[0].ok && entries[1].ok && entries[3].ok);
   EXPECT_FALSE(entries[2].ok);
+}
+
+// Regression: the interner must key handles on the FULL 32-byte digest.
+// We craft two distinct digests whose 64-bit fold — the interner's shard/
+// bucket hash, whose formula we replicate here — collides. An earlier
+// revision keyed the handle map on that fold alone, so the second
+// (never-verified) certificate silently shared the first one's verified
+// handle; with full-digest keys the collision only co-locates a bucket.
+TEST(CertInternerTest, CraftedFoldCollisionDoesNotAliasHandle) {
+  using detail::fold64;
+  using detail::mix;
+  const auto fold = [](const Digest& d) {
+    return mix(fold64(d, 0) ^ mix(fold64(d, 8)) ^ fold64(d, 16) ^
+               mix(fold64(d, 24)));
+  };
+  const auto store_le64 = [](Digest& d, std::size_t off, std::uint64_t w) {
+    for (std::size_t i = 0; i < 8; ++i)
+      d[off + i] = static_cast<std::uint8_t>(w >> (8 * i));
+  };
+  const Digest a = Sha256::hash("legit-cert");
+  // Solve the fold backwards: perturb word 1, then pick word 0 so the
+  // xor of (optionally mixed) words matches a's pre-mix state.
+  Digest b = a;
+  const std::uint64_t w1b = fold64(a, 8) + 1;
+  store_le64(b, 8, w1b);
+  store_le64(b, 0, fold64(a, 0) ^ mix(fold64(a, 8)) ^ mix(w1b));
+  ASSERT_NE(a, b);
+  ASSERT_EQ(fold(a), fold(b));  // the crafted 64-bit collision is real
+  CertInterner interner;
+  const std::uint64_t ha = interner.intern(a);
+  EXPECT_FALSE(interner.find(b).has_value());
+  EXPECT_NE(interner.intern(b), ha);
+  EXPECT_EQ(*interner.find(a), ha);
 }
 
 TEST(CertInternerTest, InternAndFindRoundTrip) {
